@@ -1,0 +1,63 @@
+//! Criterion benches for erasure-code encode / decode / repair planning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ecc::{ErasureCode, Lrc, ReedSolomon};
+
+const BLOCK: usize = 1024 * 1024;
+
+fn random_data(k: usize) -> Vec<Vec<u8>> {
+    (0..k)
+        .map(|i| (0..BLOCK).map(|b| ((b * 31 + i * 7) % 253) as u8).collect())
+        .collect()
+}
+
+fn bench_codes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codes");
+    for (n, k) in [(9usize, 6usize), (14, 10)] {
+        let rs = ReedSolomon::new(n, k).unwrap();
+        let data = random_data(k);
+        group.throughput(Throughput::Bytes((k * BLOCK) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("rs_encode", format!("({n},{k})")),
+            &rs,
+            |b, rs| {
+                b.iter(|| rs.encode(&data).unwrap());
+            },
+        );
+        let coded = rs.encode(&data).unwrap();
+        let available: Vec<(usize, Vec<u8>)> = (k..n)
+            .chain(0..k - (n - k))
+            .map(|i| (i, coded[i].clone()))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("rs_decode", format!("({n},{k})")),
+            &rs,
+            |b, rs| {
+                b.iter(|| rs.decode(&available).unwrap());
+            },
+        );
+        let helpers: Vec<usize> = (1..n).collect();
+        group.bench_with_input(
+            BenchmarkId::new("rs_repair_plan", format!("({n},{k})")),
+            &rs,
+            |b, rs| {
+                b.iter(|| rs.repair_plan(0, &helpers).unwrap());
+            },
+        );
+    }
+
+    let lrc = Lrc::new(12, 2, 2).unwrap();
+    let data = random_data(12);
+    group.throughput(Throughput::Bytes((12 * BLOCK) as u64));
+    group.bench_function("lrc_encode(12,2,2)", |b| {
+        b.iter(|| lrc.encode(&data).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_codes
+}
+criterion_main!(benches);

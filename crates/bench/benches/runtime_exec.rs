@@ -1,0 +1,60 @@
+//! Criterion bench for the ECPipe runtime: end-to-end single-block repair
+//! throughput of the execution strategies on an in-memory cluster.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ecc::slice::SliceLayout;
+use ecc::ReedSolomon;
+use ecpipe::exec::{execute_single, ExecStrategy};
+use ecpipe::transport::Transport;
+use ecpipe::{Cluster, Coordinator, SelectionPolicy};
+
+const BLOCK: usize = 4 * 1024 * 1024;
+
+fn bench_runtime(c: &mut Criterion) {
+    let code = Arc::new(ReedSolomon::new(14, 10).unwrap());
+    let layout = SliceLayout::new(BLOCK, 32 * 1024);
+    let mut coordinator = Coordinator::new(code, layout);
+    let mut cluster = Cluster::in_memory(16);
+    let data: Vec<Vec<u8>> = (0..10)
+        .map(|i| {
+            (0..BLOCK)
+                .map(|b| ((b * 13 + i * 31) % 251) as u8)
+                .collect()
+        })
+        .collect();
+    let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
+    cluster.erase_block(stripe, 0);
+    let directive = coordinator
+        .plan_single_repair(stripe, 0, 15, &[], SelectionPolicy::CodeDefault)
+        .unwrap();
+
+    let mut group = c.benchmark_group("runtime_exec");
+    group.throughput(Throughput::Bytes(BLOCK as u64));
+    for strategy in [
+        ExecStrategy::Conventional,
+        ExecStrategy::Ppr,
+        ExecStrategy::RepairPipelining,
+        ExecStrategy::BlockPipeline,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("single_block_repair", strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let transport = Transport::new();
+                    execute_single(&directive, &cluster, &transport, strategy).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_runtime
+}
+criterion_main!(benches);

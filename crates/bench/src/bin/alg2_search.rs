@@ -1,0 +1,88 @@
+//! Search-time comparison for weighted path selection (§4.3).
+//!
+//! The paper reports that for (14,10) codes, brute-force search over all
+//! helper orderings takes 27 s on average, while Algorithm 2 finds the same
+//! optimal path in 0.9 ms. This binary measures both on random link-weight
+//! matrices. The full (14,10) brute force enumerates `13!/3!` permutations;
+//! by default it is measured on smaller instances (where it is already
+//! thousands of times slower) and only run at full size with `--full`.
+//!
+//! Run with `cargo run --release -p ecpipe-bench --bin alg2_search [--full]`.
+
+use std::time::Instant;
+
+use ecpipe_bench::header;
+use rand::prelude::*;
+use repair::weighted_path::{brute_force_path, optimal_path, WeightMatrix};
+
+fn random_weights(n: usize, seed: u64) -> WeightMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    WeightMatrix::new(n, (0..n * n).map(|_| rng.gen_range(0.001..1.0)).collect())
+}
+
+fn measure<F: FnMut() -> f64>(runs: usize, mut f: F) -> (f64, f64) {
+    let start = Instant::now();
+    let mut checksum = 0.0;
+    for _ in 0..runs {
+        checksum += f();
+    }
+    (start.elapsed().as_secs_f64() / runs as f64, checksum)
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    header(
+        "Algorithm 2 search time",
+        "optimal weighted path selection vs brute force (average per search)",
+    );
+
+    // Algorithm 2 at the paper's full scale: n = 14, k = 10, 13 candidates.
+    let runs = 1000;
+    let (alg2_time, _) = measure(runs, || {
+        let weights = random_weights(14, rand::random::<u64>());
+        let candidates: Vec<usize> = (1..14).collect();
+        optimal_path(&weights, 0, &candidates, 10)
+            .expect("path exists")
+            .bottleneck_weight
+    });
+    println!("{:>22}  {:.3} ms", "(14,10) Algorithm 2", alg2_time * 1e3);
+
+    // Brute force at increasing sizes (it grows factorially).
+    for (n, k, runs) in [(8usize, 4usize, 50usize), (9, 5, 20), (10, 6, 5)] {
+        let (bf_time, _) = measure(runs, || {
+            let weights = random_weights(n, rand::random::<u64>());
+            let candidates: Vec<usize> = (1..n).collect();
+            brute_force_path(&weights, 0, &candidates, k)
+                .expect("path exists")
+                .bottleneck_weight
+        });
+        let (fast_time, _) = measure(runs.max(100), || {
+            let weights = random_weights(n, rand::random::<u64>());
+            let candidates: Vec<usize> = (1..n).collect();
+            optimal_path(&weights, 0, &candidates, k)
+                .expect("path exists")
+                .bottleneck_weight
+        });
+        println!(
+            "{:>22}  brute force {:.3} ms   Algorithm 2 {:.3} ms   speedup {:.0}x",
+            format!("({n},{k})"),
+            bf_time * 1e3,
+            fast_time * 1e3,
+            bf_time / fast_time
+        );
+    }
+
+    if full {
+        println!("running the full (14,10) brute force; this takes tens of seconds ...");
+        let (bf_time, _) = measure(1, || {
+            let weights = random_weights(14, 42);
+            let candidates: Vec<usize> = (1..14).collect();
+            brute_force_path(&weights, 0, &candidates, 10)
+                .expect("path exists")
+                .bottleneck_weight
+        });
+        println!("{:>22}  {:.1} s", "(14,10) brute force", bf_time);
+    } else {
+        println!("(pass --full to also time the full (14,10) brute-force search)");
+    }
+}

@@ -1,0 +1,244 @@
+//! A cluster of storage nodes with node-local block stores.
+//!
+//! [`Cluster`] is the piece of the storage system ECPipe sits next to: a set
+//! of nodes, each with its own [`BlockStore`](crate::BlockStore), plus the
+//! block placement of every stripe. It supports writing encoded stripes,
+//! injecting failures (erasing blocks, killing nodes) and running repairs
+//! through the ECPipe executor.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use ecc::stripe::{BlockId, StripeId};
+use simnet::NodeId;
+
+use crate::coordinator::SelectionPolicy;
+use crate::exec::{self, ExecStrategy};
+use crate::store::{BlockStore, MemoryStore};
+use crate::transport::Transport;
+use crate::{Coordinator, EcPipeError, Result};
+
+/// A cluster of storage nodes.
+pub struct Cluster {
+    stores: Vec<Arc<dyn BlockStore>>,
+    placements: HashMap<StripeId, Vec<NodeId>>,
+}
+
+impl Cluster {
+    /// Creates a cluster of `nodes` in-memory storage nodes.
+    pub fn in_memory(nodes: usize) -> Self {
+        Cluster {
+            stores: (0..nodes)
+                .map(|_| Arc::new(MemoryStore::new()) as Arc<dyn BlockStore>)
+                .collect(),
+            placements: HashMap::new(),
+        }
+    }
+
+    /// Creates a cluster from explicit per-node stores (e.g. file-backed).
+    pub fn from_stores(stores: Vec<Arc<dyn BlockStore>>) -> Self {
+        Cluster {
+            stores,
+            placements: HashMap::new(),
+        }
+    }
+
+    /// The number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// The block store of one node.
+    pub fn store(&self, node: NodeId) -> &Arc<dyn BlockStore> {
+        &self.stores[node]
+    }
+
+    /// The placement (block index to node) of a stripe.
+    pub fn placement(&self, stripe: StripeId) -> Option<&Vec<NodeId>> {
+        self.placements.get(&stripe)
+    }
+
+    /// Encodes `data` with the coordinator's code and writes the stripe with
+    /// the default placement: block `i` goes to node `(stripe_id + i) mod
+    /// num_nodes`.
+    ///
+    /// Returns the stripe id.
+    pub fn write_stripe(
+        &mut self,
+        coordinator: &mut Coordinator,
+        stripe_id: u64,
+        data: &[Vec<u8>],
+    ) -> Result<StripeId> {
+        let n = coordinator.code().n();
+        if self.num_nodes() < n {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!("cluster has {} nodes, stripe needs {n}", self.num_nodes()),
+            });
+        }
+        let placement: Vec<NodeId> = (0..n)
+            .map(|i| (stripe_id as usize + i) % self.num_nodes())
+            .collect();
+        self.write_stripe_with_placement(coordinator, stripe_id, data, placement)
+    }
+
+    /// Encodes and writes a stripe with an explicit placement.
+    pub fn write_stripe_with_placement(
+        &mut self,
+        coordinator: &mut Coordinator,
+        stripe_id: u64,
+        data: &[Vec<u8>],
+        placement: Vec<NodeId>,
+    ) -> Result<StripeId> {
+        let code = coordinator.code().clone();
+        if placement.len() != code.n() {
+            return Err(EcPipeError::InvalidRequest {
+                reason: "placement must assign a node to every coded block".to_string(),
+            });
+        }
+        {
+            let mut distinct = placement.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            if distinct.len() != placement.len() {
+                return Err(EcPipeError::InvalidRequest {
+                    reason: "a stripe's blocks must live on distinct nodes".to_string(),
+                });
+            }
+        }
+        let coded = code.encode(data)?;
+        let id = StripeId(stripe_id);
+        for (index, block) in coded.into_iter().enumerate() {
+            let node = placement[index];
+            self.stores[node].put(BlockId { stripe: id, index }, Bytes::from(block))?;
+        }
+        coordinator.register_stripe(id, placement.clone());
+        self.placements.insert(id, placement);
+        Ok(id)
+    }
+
+    /// Erases one block of a stripe (simulating a lost or unavailable block).
+    /// Returns whether the block was present.
+    pub fn erase_block(&self, stripe: StripeId, index: usize) -> bool {
+        let Some(placement) = self.placements.get(&stripe) else {
+            return false;
+        };
+        let node = placement[index];
+        self.stores[node]
+            .delete(BlockId { stripe, index })
+            .unwrap_or(false)
+    }
+
+    /// Deletes every block stored on a node (simulating a full node failure).
+    /// Returns the erased block ids.
+    pub fn kill_node(&self, node: NodeId) -> Vec<BlockId> {
+        let blocks = self.stores[node].list();
+        for &b in &blocks {
+            let _ = self.stores[node].delete(b);
+        }
+        blocks
+    }
+
+    /// Repairs one failed block of a stripe at `requestor` using the given
+    /// execution strategy, writes the repaired block into the requestor's
+    /// store, and returns its content.
+    pub fn repair(
+        &self,
+        coordinator: &mut Coordinator,
+        stripe: StripeId,
+        failed: usize,
+        requestor: NodeId,
+        strategy: ExecStrategy,
+    ) -> Result<Vec<u8>> {
+        let directive = coordinator.plan_single_repair(
+            stripe,
+            failed,
+            requestor,
+            &[],
+            SelectionPolicy::CodeDefault,
+        )?;
+        let transport = Transport::new();
+        let repaired = exec::execute_single(&directive, self, &transport, strategy)?;
+        self.stores[requestor].put(
+            BlockId {
+                stripe,
+                index: failed,
+            },
+            Bytes::from(repaired.clone()),
+        )?;
+        Ok(repaired)
+    }
+
+    /// Reads a block from wherever its stripe placement says it lives.
+    pub fn read_block(&self, stripe: StripeId, index: usize) -> Result<Bytes> {
+        let placement = self
+            .placements
+            .get(&stripe)
+            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?;
+        self.stores[placement[index]].get(BlockId { stripe, index })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc::slice::SliceLayout;
+    use ecc::ReedSolomon;
+
+    fn setup() -> (Cluster, Coordinator, Vec<Vec<u8>>) {
+        let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
+        let coordinator = Coordinator::new(code, SliceLayout::new(4096, 512));
+        let cluster = Cluster::in_memory(8);
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![(i * 17 + 3) as u8; 4096]).collect();
+        (cluster, coordinator, data)
+    }
+
+    #[test]
+    fn write_stripe_places_blocks_on_distinct_nodes() {
+        let (mut cluster, mut coordinator, data) = setup();
+        let stripe = cluster.write_stripe(&mut coordinator, 5, &data).unwrap();
+        let placement = cluster.placement(stripe).unwrap().clone();
+        assert_eq!(placement.len(), 6);
+        let mut sorted = placement.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+        // Data blocks readable and identical to the input.
+        for i in 0..4 {
+            assert_eq!(
+                cluster.read_block(stripe, i).unwrap(),
+                Bytes::from(data[i].clone())
+            );
+        }
+    }
+
+    #[test]
+    fn erase_and_kill_remove_blocks() {
+        let (mut cluster, mut coordinator, data) = setup();
+        let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
+        assert!(cluster.erase_block(stripe, 1));
+        assert!(!cluster.erase_block(stripe, 1));
+        assert!(cluster.read_block(stripe, 1).is_err());
+        let node = cluster.placement(stripe).unwrap()[2];
+        let erased = cluster.kill_node(node);
+        assert!(erased.contains(&BlockId { stripe, index: 2 }));
+    }
+
+    #[test]
+    fn rejects_duplicate_placement() {
+        let (mut cluster, mut coordinator, data) = setup();
+        let err =
+            cluster.write_stripe_with_placement(&mut coordinator, 0, &data, vec![0, 1, 2, 3, 4, 4]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_small_cluster() {
+        let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
+        let mut coordinator = Coordinator::new(code, SliceLayout::new(1024, 512));
+        let mut cluster = Cluster::in_memory(3);
+        let data: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 1024]).collect();
+        assert!(cluster.write_stripe(&mut coordinator, 0, &data).is_err());
+    }
+}

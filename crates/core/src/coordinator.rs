@@ -1,0 +1,419 @@
+//! The ECPipe coordinator.
+//!
+//! The coordinator (one per deployment, Figure 7) keeps the mapping from
+//! stripes to block locations, answers repair requests by selecting helpers
+//! and deriving the decoding coefficients, and implements the greedy
+//! least-recently-selected helper scheduling used during full-node recovery
+//! (§3.3).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ecc::slice::SliceLayout;
+use ecc::stripe::{BlockId, StripeId};
+use ecc::{ErasureCode, MultiRepairPlan, RepairPlan};
+use simnet::NodeId;
+
+use crate::{EcPipeError, Result};
+
+/// Metadata of one stripe: where each of its `n` blocks lives.
+#[derive(Debug, Clone)]
+pub struct StripeMeta {
+    /// The stripe id.
+    pub id: StripeId,
+    /// `locations[i]` is the node storing block `i` of the stripe.
+    pub locations: Vec<NodeId>,
+}
+
+impl StripeMeta {
+    /// The node storing a given block index.
+    pub fn node_of(&self, index: usize) -> NodeId {
+        self.locations[index]
+    }
+
+    /// The block id of a given index within this stripe.
+    pub fn block_id(&self, index: usize) -> BlockId {
+        BlockId {
+            stripe: self.id,
+            index,
+        }
+    }
+}
+
+/// How the coordinator picks helpers when more are available than needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Let the erasure code pick from all available blocks (lowest indices
+    /// first for RS; the local group for LRC).
+    CodeDefault,
+    /// Greedy least-recently-selected scheduling (§3.3), used for full-node
+    /// recovery so that no helper is overloaded across stripes.
+    LeastRecentlyUsed,
+}
+
+/// Everything a set of helpers and a requestor need to execute one
+/// single-block repair.
+#[derive(Debug, Clone)]
+pub struct RepairDirective {
+    /// The stripe being repaired.
+    pub stripe: StripeId,
+    /// The linear repair plan (failed index, helper indices, coefficients).
+    pub plan: RepairPlan,
+    /// The helpers in pipeline order: `(node, block id, coefficient)`.
+    pub path: Vec<(NodeId, BlockId, u8)>,
+    /// The node that receives the repaired block.
+    pub requestor: NodeId,
+    /// Block/slice layout.
+    pub layout: SliceLayout,
+}
+
+impl RepairDirective {
+    /// Reorders the helper path (e.g. after rack-aware or weighted path
+    /// selection). The node set must stay the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the current helper nodes.
+    pub fn with_path_order(mut self, order: &[NodeId]) -> Self {
+        assert_eq!(order.len(), self.path.len(), "path length mismatch");
+        let mut by_node: HashMap<NodeId, (NodeId, BlockId, u8)> =
+            self.path.iter().map(|e| (e.0, *e)).collect();
+        self.path = order
+            .iter()
+            .map(|n| by_node.remove(n).expect("order must match helper nodes"))
+            .collect();
+        self
+    }
+
+    /// The helper nodes in path order.
+    pub fn helper_nodes(&self) -> Vec<NodeId> {
+        self.path.iter().map(|e| e.0).collect()
+    }
+}
+
+/// A multi-block repair directive (§4.4): shared helpers, one coefficient row
+/// and one requestor per failed block.
+#[derive(Debug, Clone)]
+pub struct MultiRepairDirective {
+    /// The stripe being repaired.
+    pub stripe: StripeId,
+    /// The underlying multi-block plan.
+    pub plan: MultiRepairPlan,
+    /// The helpers in pipeline order: `(node, block id)`.
+    pub path: Vec<(NodeId, BlockId)>,
+    /// One requestor per failed block, in `plan.failed` order.
+    pub requestors: Vec<NodeId>,
+    /// Block/slice layout.
+    pub layout: SliceLayout,
+}
+
+/// The ECPipe coordinator.
+pub struct Coordinator {
+    code: Arc<dyn ErasureCode>,
+    layout: SliceLayout,
+    stripes: HashMap<u64, StripeMeta>,
+    last_selected: HashMap<NodeId, u64>,
+    clock: u64,
+}
+
+impl Coordinator {
+    /// Creates a coordinator for a given code and slice layout.
+    pub fn new(code: Arc<dyn ErasureCode>, layout: SliceLayout) -> Self {
+        Coordinator {
+            code,
+            layout,
+            stripes: HashMap::new(),
+            last_selected: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    /// The erasure code in use.
+    pub fn code(&self) -> &Arc<dyn ErasureCode> {
+        &self.code
+    }
+
+    /// The block/slice layout in use.
+    pub fn layout(&self) -> SliceLayout {
+        self.layout
+    }
+
+    /// Registers a stripe's block locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of locations differs from the code's `n`.
+    pub fn register_stripe(&mut self, id: StripeId, locations: Vec<NodeId>) {
+        assert_eq!(
+            locations.len(),
+            self.code.n(),
+            "stripe must have one location per coded block"
+        );
+        self.stripes.insert(id.0, StripeMeta { id, locations });
+    }
+
+    /// Looks up a stripe's metadata.
+    pub fn stripe(&self, id: StripeId) -> Result<&StripeMeta> {
+        self.stripes
+            .get(&id.0)
+            .ok_or(EcPipeError::UnknownStripe { stripe: id.0 })
+    }
+
+    /// All registered stripes, ordered by id.
+    pub fn stripes(&self) -> Vec<&StripeMeta> {
+        let mut metas: Vec<&StripeMeta> = self.stripes.values().collect();
+        metas.sort_by_key(|m| m.id);
+        metas
+    }
+
+    /// The stripes that stored a block on `node` (the ones affected by that
+    /// node's failure), with the index of the lost block.
+    pub fn stripes_on_node(&self, node: NodeId) -> Vec<(StripeId, usize)> {
+        let mut affected: Vec<(StripeId, usize)> = self
+            .stripes
+            .values()
+            .filter_map(|m| {
+                m.locations
+                    .iter()
+                    .position(|&n| n == node)
+                    .map(|idx| (m.id, idx))
+            })
+            .collect();
+        affected.sort();
+        affected
+    }
+
+    /// Plans a single-block repair: the failed block of `stripe` is
+    /// reconstructed at `requestor`.
+    ///
+    /// `unavailable` lists additional block indices that must not be used as
+    /// helpers (e.g. blocks on other failed nodes).
+    pub fn plan_single_repair(
+        &mut self,
+        stripe: StripeId,
+        failed: usize,
+        requestor: NodeId,
+        unavailable: &[usize],
+        policy: SelectionPolicy,
+    ) -> Result<RepairDirective> {
+        let meta = self
+            .stripes
+            .get(&stripe.0)
+            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?
+            .clone();
+        if failed >= self.code.n() {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!("block index {failed} out of range"),
+            });
+        }
+        let mut available: Vec<usize> = (0..self.code.n())
+            .filter(|&i| i != failed && !unavailable.contains(&i) && meta.node_of(i) != requestor)
+            .collect();
+        if policy == SelectionPolicy::LeastRecentlyUsed && available.len() > self.code.k() {
+            // Order candidates by how recently their node served as a helper
+            // and keep the k least recently used.
+            available.sort_by_key(|&i| {
+                (
+                    self.last_selected
+                        .get(&meta.node_of(i))
+                        .copied()
+                        .unwrap_or(0),
+                    i,
+                )
+            });
+            available.truncate(self.code.k());
+            available.sort_unstable();
+        }
+        let plan = self.code.repair_plan(failed, &available)?;
+        for src in &plan.sources {
+            self.clock += 1;
+            self.last_selected
+                .insert(meta.node_of(src.block_index), self.clock);
+        }
+        let path: Vec<(NodeId, BlockId, u8)> = plan
+            .sources
+            .iter()
+            .map(|src| {
+                (
+                    meta.node_of(src.block_index),
+                    meta.block_id(src.block_index),
+                    src.coefficient,
+                )
+            })
+            .collect();
+        Ok(RepairDirective {
+            stripe,
+            plan,
+            path,
+            requestor,
+            layout: self.layout,
+        })
+    }
+
+    /// Plans a multi-block repair (§4.4): every index in `failed` is
+    /// reconstructed, one requestor per failed block.
+    pub fn plan_multi_repair(
+        &mut self,
+        stripe: StripeId,
+        failed: &[usize],
+        requestors: &[NodeId],
+    ) -> Result<MultiRepairDirective> {
+        if failed.len() != requestors.len() {
+            return Err(EcPipeError::InvalidRequest {
+                reason: "one requestor per failed block required".to_string(),
+            });
+        }
+        let meta = self
+            .stripes
+            .get(&stripe.0)
+            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?
+            .clone();
+        let available: Vec<usize> = (0..self.code.n())
+            .filter(|i| !failed.contains(i) && !requestors.contains(&meta.node_of(*i)))
+            .collect();
+        let plan = self.code.multi_repair_plan(failed, &available)?;
+        let path: Vec<(NodeId, BlockId)> = plan
+            .helpers
+            .iter()
+            .map(|&i| (meta.node_of(i), meta.block_id(i)))
+            .collect();
+        // Requestors ordered to match plan.failed (which is sorted).
+        let mut requestor_of: HashMap<usize, NodeId> = failed
+            .iter()
+            .copied()
+            .zip(requestors.iter().copied())
+            .collect();
+        let ordered_requestors: Vec<NodeId> = plan
+            .failed
+            .iter()
+            .map(|f| requestor_of.remove(f).expect("requestor for failed block"))
+            .collect();
+        Ok(MultiRepairDirective {
+            stripe,
+            plan,
+            path,
+            requestors: ordered_requestors,
+            layout: self.layout,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecc::ReedSolomon;
+
+    fn coordinator() -> Coordinator {
+        let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
+        Coordinator::new(code, SliceLayout::new(4096, 1024))
+    }
+
+    #[test]
+    fn register_and_lookup_stripes() {
+        let mut c = coordinator();
+        c.register_stripe(StripeId(1), vec![0, 1, 2, 3, 4, 5]);
+        c.register_stripe(StripeId(2), vec![5, 4, 3, 2, 1, 0]);
+        assert_eq!(c.stripe(StripeId(1)).unwrap().node_of(2), 2);
+        assert_eq!(c.stripe(StripeId(2)).unwrap().node_of(0), 5);
+        assert!(c.stripe(StripeId(9)).is_err());
+        assert_eq!(c.stripes().len(), 2);
+    }
+
+    #[test]
+    fn stripes_on_node_finds_affected() {
+        let mut c = coordinator();
+        c.register_stripe(StripeId(1), vec![0, 1, 2, 3, 4, 5]);
+        c.register_stripe(StripeId(2), vec![6, 1, 2, 3, 4, 5]);
+        assert_eq!(c.stripes_on_node(0), vec![(StripeId(1), 0)]);
+        assert_eq!(
+            c.stripes_on_node(1),
+            vec![(StripeId(1), 1), (StripeId(2), 1)]
+        );
+        assert!(c.stripes_on_node(99).is_empty());
+    }
+
+    #[test]
+    fn single_repair_directive_excludes_requestor_node() {
+        let mut c = coordinator();
+        c.register_stripe(StripeId(1), vec![0, 1, 2, 3, 4, 5]);
+        let d = c
+            .plan_single_repair(StripeId(1), 0, 3, &[], SelectionPolicy::CodeDefault)
+            .unwrap();
+        assert_eq!(d.plan.failed, 0);
+        assert_eq!(d.path.len(), 4);
+        assert!(d.helper_nodes().iter().all(|&n| n != 3 && n != 0));
+    }
+
+    #[test]
+    fn greedy_policy_rotates_helpers_across_repairs() {
+        // Two stripes over 8 nodes: k = 4 helpers each, 7 candidates per
+        // repair, so the second repair must use the 3 nodes the first one did
+        // not touch and only one previously-used node.
+        let code = Arc::new(ReedSolomon::new(8, 4).unwrap());
+        let mut c = Coordinator::new(code, SliceLayout::new(4096, 1024));
+        c.register_stripe(StripeId(1), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        c.register_stripe(StripeId(2), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let d1 = c
+            .plan_single_repair(StripeId(1), 0, 100, &[], SelectionPolicy::LeastRecentlyUsed)
+            .unwrap();
+        let d2 = c
+            .plan_single_repair(StripeId(2), 0, 100, &[], SelectionPolicy::LeastRecentlyUsed)
+            .unwrap();
+        let h1 = d1.helper_nodes();
+        let h2 = d2.helper_nodes();
+        let overlap = h2.iter().filter(|n| h1.contains(n)).count();
+        assert!(overlap <= 1, "h1 {h1:?} h2 {h2:?}");
+        for unused in [5, 6, 7] {
+            assert!(
+                h2.contains(&unused),
+                "h2 {h2:?} should reuse idle node {unused}"
+            );
+        }
+    }
+
+    #[test]
+    fn path_reordering_preserves_entries() {
+        let mut c = coordinator();
+        c.register_stripe(StripeId(1), vec![0, 1, 2, 3, 4, 5]);
+        let d = c
+            .plan_single_repair(StripeId(1), 5, 0, &[], SelectionPolicy::CodeDefault)
+            .unwrap();
+        let mut order = d.helper_nodes();
+        order.reverse();
+        let reordered = d.clone().with_path_order(&order);
+        assert_eq!(reordered.helper_nodes(), order);
+        // Coefficients still attached to the right nodes.
+        for entry in &d.path {
+            assert!(reordered.path.contains(entry));
+        }
+    }
+
+    #[test]
+    fn multi_repair_directive_matches_failures() {
+        let mut c = coordinator();
+        c.register_stripe(StripeId(1), vec![0, 1, 2, 3, 4, 5]);
+        let d = c
+            .plan_multi_repair(StripeId(1), &[5, 1], &[10, 11])
+            .unwrap();
+        assert_eq!(d.plan.failed, vec![1, 5]);
+        assert_eq!(d.requestors, vec![11, 10]);
+        assert_eq!(d.path.len(), 4);
+    }
+
+    #[test]
+    fn unavailable_blocks_are_not_helpers() {
+        let mut c = coordinator();
+        c.register_stripe(StripeId(1), vec![0, 1, 2, 3, 4, 5]);
+        let d = c
+            .plan_single_repair(StripeId(1), 0, 9, &[1], SelectionPolicy::CodeDefault)
+            .unwrap();
+        let helper_indices = d.plan.helper_indices();
+        assert!(!helper_indices.contains(&1));
+        assert_eq!(helper_indices.len(), 4);
+        // Excluding one more block leaves fewer than k helpers, which is an
+        // error.
+        assert!(c
+            .plan_single_repair(StripeId(1), 0, 9, &[1, 2], SelectionPolicy::CodeDefault)
+            .is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the ECPipe runtime.
+
+use std::fmt;
+
+use ecc::stripe::BlockId;
+
+/// Errors returned by the ECPipe coordinator, block stores and executors.
+#[derive(Debug)]
+pub enum EcPipeError {
+    /// A block was not found in the store it was expected to live in.
+    BlockNotFound {
+        /// The missing block.
+        block: BlockId,
+    },
+    /// The coordinator has no metadata for the requested stripe.
+    UnknownStripe {
+        /// The stripe id that was requested.
+        stripe: u64,
+    },
+    /// The repair cannot be planned (e.g. too many failures).
+    Planning(ecc::CodeError),
+    /// An I/O error from a file-backed block store.
+    Io(std::io::Error),
+    /// A worker thread failed or a channel was closed unexpectedly.
+    Execution {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The request itself was invalid (e.g. requestor is a helper).
+    InvalidRequest {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EcPipeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EcPipeError::BlockNotFound { block } => write!(f, "block {block} not found"),
+            EcPipeError::UnknownStripe { stripe } => write!(f, "unknown stripe {stripe}"),
+            EcPipeError::Planning(e) => write!(f, "repair planning failed: {e}"),
+            EcPipeError::Io(e) => write!(f, "block store I/O error: {e}"),
+            EcPipeError::Execution { reason } => write!(f, "repair execution failed: {reason}"),
+            EcPipeError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EcPipeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EcPipeError::Planning(e) => Some(e),
+            EcPipeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ecc::CodeError> for EcPipeError {
+    fn from(e: ecc::CodeError) -> Self {
+        EcPipeError::Planning(e)
+    }
+}
+
+impl From<std::io::Error> for EcPipeError {
+    fn from(e: std::io::Error) -> Self {
+        EcPipeError::Io(e)
+    }
+}

@@ -1,0 +1,232 @@
+//! Local block stores.
+//!
+//! Each helper reads the blocks it serves directly from the storage node's
+//! local store. The paper's integration insight (§5.2) is that HDFS-RAID,
+//! HDFS-3 and QFS all keep a block as a plain file named after its block id,
+//! so a helper daemon can bypass the distributed-storage read routine; the
+//! [`FileStore`] mirrors that layout, and [`MemoryStore`] is the in-process
+//! equivalent used by tests and examples.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use ecc::stripe::BlockId;
+
+use crate::{EcPipeError, Result};
+
+/// A node-local store of erasure-coded blocks.
+pub trait BlockStore: Send + Sync {
+    /// Reads a whole block.
+    fn get(&self, block: BlockId) -> Result<Bytes>;
+
+    /// Reads a byte range of a block (used for slice-granular disk reads).
+    fn get_range(&self, block: BlockId, range: std::ops::Range<usize>) -> Result<Bytes> {
+        let whole = self.get(block)?;
+        if range.end > whole.len() {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!(
+                    "range {range:?} out of bounds for block {block} of {} bytes",
+                    whole.len()
+                ),
+            });
+        }
+        Ok(whole.slice(range))
+    }
+
+    /// Writes (or overwrites) a block.
+    fn put(&self, block: BlockId, data: Bytes) -> Result<()>;
+
+    /// Deletes a block, returning whether it existed. Used to inject
+    /// failures.
+    fn delete(&self, block: BlockId) -> Result<bool>;
+
+    /// Whether a block is present.
+    fn contains(&self, block: BlockId) -> bool;
+
+    /// The ids of all stored blocks.
+    fn list(&self) -> Vec<BlockId>;
+}
+
+/// An in-memory block store.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    blocks: RwLock<HashMap<BlockId, Bytes>>,
+}
+
+impl MemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MemoryStore::default()
+    }
+}
+
+impl BlockStore for MemoryStore {
+    fn get(&self, block: BlockId) -> Result<Bytes> {
+        self.blocks
+            .read()
+            .get(&block)
+            .cloned()
+            .ok_or(EcPipeError::BlockNotFound { block })
+    }
+
+    fn put(&self, block: BlockId, data: Bytes) -> Result<()> {
+        self.blocks.write().insert(block, data);
+        Ok(())
+    }
+
+    fn delete(&self, block: BlockId) -> Result<bool> {
+        Ok(self.blocks.write().remove(&block).is_some())
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.blocks.read().contains_key(&block)
+    }
+
+    fn list(&self) -> Vec<BlockId> {
+        let mut ids: Vec<BlockId> = self.blocks.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// A file-backed block store: each block is a plain file named
+/// `s<stripe>b<index>` inside the store directory, mirroring how HDFS and QFS
+/// lay out blocks in the native file system.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+}
+
+impl FileStore {
+    /// Opens (and creates if needed) a file store rooted at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileStore { dir })
+    }
+
+    fn path_of(&self, block: BlockId) -> PathBuf {
+        self.dir.join(block.to_string())
+    }
+}
+
+impl BlockStore for FileStore {
+    fn get(&self, block: BlockId) -> Result<Bytes> {
+        match std::fs::read(self.path_of(block)) {
+            Ok(data) => Ok(Bytes::from(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(EcPipeError::BlockNotFound { block })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn put(&self, block: BlockId, data: Bytes) -> Result<()> {
+        std::fs::write(self.path_of(block), &data)?;
+        Ok(())
+    }
+
+    fn delete(&self, block: BlockId) -> Result<bool> {
+        match std::fs::remove_file(self.path_of(block)) {
+            Ok(()) => Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn contains(&self, block: BlockId) -> bool {
+        self.path_of(block).exists()
+    }
+
+    fn list(&self) -> Vec<BlockId> {
+        let mut ids = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for entry in entries.flatten() {
+                if let Some(name) = entry.file_name().to_str() {
+                    if let Some(id) = parse_block_name(name) {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+}
+
+fn parse_block_name(name: &str) -> Option<BlockId> {
+    // Format: s<stripe>b<index>
+    let rest = name.strip_prefix('s')?;
+    let (stripe, index) = rest.split_once('b')?;
+    Some(BlockId::new(stripe.parse().ok()?, index.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(s: u64, i: usize) -> BlockId {
+        BlockId::new(s, i)
+    }
+
+    #[test]
+    fn memory_store_roundtrip() {
+        let store = MemoryStore::new();
+        assert!(!store.contains(block(1, 0)));
+        store
+            .put(block(1, 0), Bytes::from_static(b"hello"))
+            .unwrap();
+        assert!(store.contains(block(1, 0)));
+        assert_eq!(
+            store.get(block(1, 0)).unwrap(),
+            Bytes::from_static(b"hello")
+        );
+        assert_eq!(store.list(), vec![block(1, 0)]);
+        assert!(store.delete(block(1, 0)).unwrap());
+        assert!(!store.delete(block(1, 0)).unwrap());
+        assert!(matches!(
+            store.get(block(1, 0)),
+            Err(EcPipeError::BlockNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_store_range_reads() {
+        let store = MemoryStore::new();
+        store
+            .put(block(2, 3), Bytes::from_static(b"0123456789"))
+            .unwrap();
+        assert_eq!(
+            store.get_range(block(2, 3), 2..5).unwrap(),
+            Bytes::from_static(b"234")
+        );
+        assert!(store.get_range(block(2, 3), 5..20).is_err());
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("ecpipe-test-{}", std::process::id()));
+        let store = FileStore::open(&dir).unwrap();
+        store.put(block(7, 2), Bytes::from_static(b"abc")).unwrap();
+        assert!(store.contains(block(7, 2)));
+        assert_eq!(store.get(block(7, 2)).unwrap(), Bytes::from_static(b"abc"));
+        assert_eq!(store.list(), vec![block(7, 2)]);
+        assert_eq!(
+            store.get_range(block(7, 2), 1..3).unwrap(),
+            Bytes::from_static(b"bc")
+        );
+        assert!(store.delete(block(7, 2)).unwrap());
+        assert!(!store.contains(block(7, 2)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn block_name_parsing() {
+        assert_eq!(parse_block_name("s12b3"), Some(BlockId::new(12, 3)));
+        assert_eq!(parse_block_name("garbage"), None);
+        assert_eq!(parse_block_name("s1x2"), None);
+    }
+}

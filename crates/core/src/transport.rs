@@ -1,0 +1,203 @@
+//! In-process slice transport.
+//!
+//! The paper's prototype moves slices between helper daemons through Redis;
+//! this runtime uses bounded crossbeam channels instead, which play the same
+//! role (an in-memory staging area between pipeline stages) without an
+//! external dependency. The transport also keeps per-link byte counters so
+//! tests can check the traffic-distribution claims of the paper (e.g. repair
+//! pipelining sends exactly one block over every link, conventional repair
+//! funnels `k` blocks into the requestor's link).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use simnet::NodeId;
+
+/// A slice (or partial slice) in flight between two pipeline stages.
+#[derive(Debug, Clone)]
+pub struct SliceMsg {
+    /// Index of the slice within its block.
+    pub index: usize,
+    /// Payload.
+    pub data: Bytes,
+}
+
+/// Per-link transfer statistics.
+#[derive(Debug, Default)]
+pub struct LinkStats {
+    bytes: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl LinkStats {
+    /// Total bytes sent over the link.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total messages (slices) sent over the link.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+}
+
+/// The sending half of a link; counts traffic as it sends.
+pub struct SliceSender {
+    inner: Sender<SliceMsg>,
+    stats: Arc<LinkStats>,
+}
+
+impl SliceSender {
+    /// Sends one slice, blocking if the link's buffer is full.
+    ///
+    /// Returns `false` if the receiving end has been dropped.
+    pub fn send(&self, msg: SliceMsg) -> bool {
+        self.stats
+            .bytes
+            .fetch_add(msg.data.len() as u64, Ordering::Relaxed);
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.inner.send(msg).is_ok()
+    }
+}
+
+/// The receiving half of a link.
+pub struct SliceReceiver {
+    inner: Receiver<SliceMsg>,
+}
+
+impl SliceReceiver {
+    /// Receives the next slice, or `None` once the sender is dropped.
+    pub fn recv(&self) -> Option<SliceMsg> {
+        self.inner.recv().ok()
+    }
+}
+
+/// A factory for links between nodes, with global traffic accounting.
+#[derive(Default)]
+pub struct Transport {
+    links: Mutex<HashMap<(NodeId, NodeId), Arc<LinkStats>>>,
+}
+
+impl Transport {
+    /// Creates an empty transport.
+    pub fn new() -> Self {
+        Transport::default()
+    }
+
+    /// Opens a bounded link from `src` to `dst`. The capacity is the number
+    /// of slices that may be buffered in flight (the pipeline depth between
+    /// two stages).
+    pub fn link(&self, src: NodeId, dst: NodeId, capacity: usize) -> (SliceSender, SliceReceiver) {
+        let stats = self
+            .links
+            .lock()
+            .entry((src, dst))
+            .or_insert_with(|| Arc::new(LinkStats::default()))
+            .clone();
+        let (tx, rx) = bounded(capacity.max(1));
+        (
+            SliceSender { inner: tx, stats },
+            SliceReceiver { inner: rx },
+        )
+    }
+
+    /// Bytes carried by one directed link so far.
+    pub fn link_bytes(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.links
+            .lock()
+            .get(&(src, dst))
+            .map(|s| s.bytes())
+            .unwrap_or(0)
+    }
+
+    /// Total bytes moved over all links.
+    pub fn total_bytes(&self) -> u64 {
+        self.links.lock().values().map(|s| s.bytes()).sum()
+    }
+
+    /// Bytes on the most-loaded directed link.
+    pub fn max_link_bytes(&self) -> u64 {
+        self.links
+            .lock()
+            .values()
+            .map(|s| s.bytes())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The number of directed links that carried any traffic.
+    pub fn links_used(&self) -> usize {
+        self.links.lock().values().filter(|s| s.bytes() > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_counts_traffic() {
+        let transport = Transport::new();
+        let (tx, rx) = transport.link(0, 1, 4);
+        assert!(tx.send(SliceMsg {
+            index: 0,
+            data: Bytes::from_static(b"0123"),
+        }));
+        assert!(tx.send(SliceMsg {
+            index: 1,
+            data: Bytes::from_static(b"45"),
+        }));
+        assert_eq!(rx.recv().unwrap().index, 0);
+        assert_eq!(rx.recv().unwrap().data, Bytes::from_static(b"45"));
+        assert_eq!(transport.link_bytes(0, 1), 6);
+        assert_eq!(transport.total_bytes(), 6);
+        assert_eq!(transport.links_used(), 1);
+    }
+
+    #[test]
+    fn send_after_receiver_dropped_returns_false() {
+        let transport = Transport::new();
+        let (tx, rx) = transport.link(0, 1, 1);
+        drop(rx);
+        assert!(!tx.send(SliceMsg {
+            index: 0,
+            data: Bytes::new(),
+        }));
+    }
+
+    #[test]
+    fn stats_accumulate_across_links_on_same_pair() {
+        let transport = Transport::new();
+        {
+            let (tx, rx) = transport.link(2, 3, 1);
+            tx.send(SliceMsg {
+                index: 0,
+                data: Bytes::from_static(b"abc"),
+            });
+            rx.recv();
+        }
+        {
+            let (tx, rx) = transport.link(2, 3, 1);
+            tx.send(SliceMsg {
+                index: 0,
+                data: Bytes::from_static(b"de"),
+            });
+            rx.recv();
+        }
+        assert_eq!(transport.link_bytes(2, 3), 5);
+        assert_eq!(transport.max_link_bytes(), 5);
+    }
+
+    #[test]
+    fn recv_returns_none_when_sender_dropped() {
+        let transport = Transport::new();
+        let (tx, rx) = transport.link(0, 1, 1);
+        drop(tx);
+        assert!(rx.recv().is_none());
+    }
+}

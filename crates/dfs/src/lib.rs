@@ -1,0 +1,35 @@
+//! Simulated distributed storage systems: HDFS-RAID, HDFS-3 and QFS.
+//!
+//! The paper integrates ECPipe into three open-source storage systems (§5.1,
+//! §6.3). This crate rebuilds the pieces of those systems that the
+//! integration and the evaluation depend on:
+//!
+//! * a file layer (files are split into fixed-size blocks, grouped into
+//!   stripes and erasure coded — offline by a RaidNode for HDFS-RAID, online
+//!   on the write path for HDFS-3 and QFS);
+//! * NameNode-style metadata (block locations, block reports, detection of
+//!   failed blocks);
+//! * the *original repair path* of each system, in which the node performing
+//!   the reconstruction opens a connection to `k` DataNodes and pulls the
+//!   blocks through the storage-system read routine; and
+//! * the ECPipe integration, in which a helper daemon co-located with each
+//!   storage node reads blocks directly from the native file system and the
+//!   repair itself is delegated to the `ecpipe` runtime.
+//!
+//! Functional behaviour (what bytes a degraded read returns, which blocks a
+//! full-node recovery rebuilds) runs on the real [`ecpipe`] runtime; the
+//! timing differences between the original repair and ECPipe (Figure 10) are
+//! modelled with [`simnet`] schedules in the [`timing`] module.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod file_system;
+mod profile;
+pub mod timing;
+
+pub use file_system::{FileMeta, RepairPath, SimulatedDfs};
+pub use profile::{EncodingMode, SystemProfile};
+
+/// Convenience result alias re-exported from the `ecpipe` runtime.
+pub type Result<T> = ecpipe::Result<T>;

@@ -1,0 +1,137 @@
+//! Per-system configuration profiles.
+
+use ecc::slice::{SliceLayout, KIB, MIB};
+
+/// When a storage system erasure-codes its data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodingMode {
+    /// Data is first written replicated and encoded later in the background
+    /// (HDFS-RAID's RaidNode, §5.1).
+    Offline,
+    /// The client encodes on the write path, buffering `cell_size` bytes per
+    /// block before appending (HDFS-3 and QFS, §5.1).
+    Online {
+        /// The per-block write buffer (1 MiB in both HDFS-3 and QFS).
+        cell_size: usize,
+    },
+}
+
+/// Configuration and overhead model of one storage system.
+///
+/// The overhead fields drive the Figure 10 timing comparisons:
+///
+/// * `routine_read_bps` — effective throughput (bytes/second) at which the
+///   reconstructing node can ingest helper blocks through the
+///   distributed-storage read routine. Checksumming, packet framing and the
+///   extra copy through the DataNode/ChunkServer process keep this slightly
+///   below the 1 Gb/s wire rate, which is why moving conventional repair
+///   into ECPipe (helpers read blocks natively) already shaves 20-26% off
+///   the repair time (§6.3).
+/// * `connection_setup` — seconds to open one connection to a DataNode; the
+///   original HDFS-3 repair opens `k` of them serially before reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemProfile {
+    /// Human-readable system name.
+    pub name: &'static str,
+    /// Default `(n, k)` code parameters.
+    pub default_code: (usize, usize),
+    /// Default block size in bytes.
+    pub block_size: usize,
+    /// When encoding happens.
+    pub encoding: EncodingMode,
+    /// Throughput of the storage-routine read path (bytes per second).
+    pub routine_read_bps: f64,
+    /// Time (seconds) to open a connection to one storage node.
+    pub connection_setup: f64,
+}
+
+impl SystemProfile {
+    /// Facebook's HDFS-RAID (Hadoop 0.20 + RaidNode, offline encoding).
+    pub fn hdfs_raid() -> Self {
+        SystemProfile {
+            name: "HDFS-RAID",
+            default_code: (14, 10),
+            block_size: 64 * MIB,
+            encoding: EncodingMode::Offline,
+            routine_read_bps: 98.0e6,
+            connection_setup: 3.0e-3,
+        }
+    }
+
+    /// Hadoop 3.1.1 HDFS with built-in erasure coding (online encoding with
+    /// 1 MiB cells).
+    pub fn hdfs3() -> Self {
+        SystemProfile {
+            name: "HDFS-3",
+            default_code: (14, 10),
+            block_size: 64 * MIB,
+            encoding: EncodingMode::Online { cell_size: MIB },
+            routine_read_bps: 115.0e6,
+            connection_setup: 8.0e-3,
+        }
+    }
+
+    /// Quantcast File System: fixed (9,6) RS, online encoding with 1 MiB
+    /// buffers.
+    pub fn qfs() -> Self {
+        SystemProfile {
+            name: "QFS",
+            default_code: (9, 6),
+            block_size: 64 * MIB,
+            encoding: EncodingMode::Online { cell_size: MIB },
+            routine_read_bps: 92.0e6,
+            connection_setup: 3.0e-3,
+        }
+    }
+
+    /// The slice layout ECPipe uses for this system (32 KiB slices by
+    /// default, as in the paper's evaluation).
+    pub fn ecpipe_layout(&self) -> SliceLayout {
+        SliceLayout::new(self.block_size, 32 * KIB)
+    }
+
+    /// A copy of the profile with a different block size.
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// A copy of the profile with different `(n, k)` parameters.
+    pub fn with_code(mut self, n: usize, k: usize) -> Self {
+        self.default_code = (n, k);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_defaults() {
+        let raid = SystemProfile::hdfs_raid();
+        assert_eq!(raid.encoding, EncodingMode::Offline);
+        assert_eq!(raid.default_code, (14, 10));
+
+        let hdfs3 = SystemProfile::hdfs3();
+        assert_eq!(hdfs3.encoding, EncodingMode::Online { cell_size: MIB });
+
+        let qfs = SystemProfile::qfs();
+        assert_eq!(qfs.default_code, (9, 6));
+        assert_eq!(qfs.block_size, 64 * MIB);
+    }
+
+    #[test]
+    fn layout_uses_32kib_slices() {
+        let layout = SystemProfile::qfs().ecpipe_layout();
+        assert_eq!(layout.slice_size, 32 * KIB);
+        assert_eq!(layout.slice_count(), 2048);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let p = SystemProfile::hdfs3().with_block_size(MIB).with_code(9, 6);
+        assert_eq!(p.block_size, MIB);
+        assert_eq!(p.default_code, (9, 6));
+    }
+}

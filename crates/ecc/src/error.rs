@@ -1,0 +1,64 @@
+//! Error type for erasure-coding operations.
+
+use std::fmt;
+
+/// Errors returned by erasure-code construction, encoding, decoding and
+/// repair planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// The `(n, k)` parameters are invalid (e.g. `k >= n`, `n > 256`).
+    InvalidParameters {
+        /// Human-readable explanation of the violated constraint.
+        reason: String,
+    },
+    /// Not enough available blocks to decode or repair.
+    NotEnoughBlocks {
+        /// Number of blocks required.
+        needed: usize,
+        /// Number of blocks available.
+        available: usize,
+    },
+    /// A block index was out of range for this code.
+    InvalidBlockIndex {
+        /// The offending index.
+        index: usize,
+        /// The number of blocks per stripe (`n`).
+        n: usize,
+    },
+    /// Input blocks had inconsistent or invalid sizes.
+    InvalidBlockSize {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The decoding matrix was singular (should not happen for MDS codes and
+    /// valid block selections).
+    SingularMatrix,
+    /// A repair plan was requested for a block set this code cannot repair
+    /// (e.g. more failures than the code tolerates).
+    Unrepairable {
+        /// Human-readable explanation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::InvalidParameters { reason } => {
+                write!(f, "invalid code parameters: {reason}")
+            }
+            CodeError::NotEnoughBlocks { needed, available } => write!(
+                f,
+                "not enough blocks: need {needed}, only {available} available"
+            ),
+            CodeError::InvalidBlockIndex { index, n } => {
+                write!(f, "block index {index} out of range for n={n}")
+            }
+            CodeError::InvalidBlockSize { reason } => write!(f, "invalid block size: {reason}"),
+            CodeError::SingularMatrix => write!(f, "decoding matrix is singular"),
+            CodeError::Unrepairable { reason } => write!(f, "unrepairable failure set: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}

@@ -1,0 +1,233 @@
+//! A single GF(2^8) field element.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::tables::{raw_mul, EXP, LOG};
+
+/// An element of GF(2^8).
+///
+/// Addition and subtraction are both XOR; multiplication and division use the
+/// exp/log tables. Division by [`Gf256::ZERO`] panics.
+///
+/// # Examples
+///
+/// ```
+/// use gf256::Gf256;
+/// let a = Gf256::new(7);
+/// assert_eq!(a * Gf256::ONE, a);
+/// assert_eq!(a * a.inverse().unwrap(), Gf256::ONE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Gf256(pub u8);
+
+impl Gf256 {
+    /// The additive identity.
+    pub const ZERO: Gf256 = Gf256(0);
+    /// The multiplicative identity.
+    pub const ONE: Gf256 = Gf256(1);
+    /// The canonical generator of the multiplicative group (g = 2).
+    pub const GENERATOR: Gf256 = Gf256(2);
+
+    /// Wraps a raw byte as a field element.
+    pub const fn new(value: u8) -> Self {
+        Gf256(value)
+    }
+
+    /// Returns the raw byte value.
+    pub const fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` if this is the additive identity.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the multiplicative inverse, or `None` for zero.
+    pub fn inverse(self) -> Option<Gf256> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Gf256(EXP[255 - LOG[self.0 as usize] as usize]))
+        }
+    }
+
+    /// Raises the element to the power `exp`.
+    ///
+    /// `0^0` is defined as `1`, matching the usual convention for Vandermonde
+    /// matrix construction.
+    pub fn pow(self, exp: usize) -> Gf256 {
+        if exp == 0 {
+            return Gf256::ONE;
+        }
+        if self.0 == 0 {
+            return Gf256::ZERO;
+        }
+        let log = LOG[self.0 as usize] as usize;
+        let e = (log * exp) % 255;
+        Gf256(EXP[e])
+    }
+
+    /// Returns `g^i` for the canonical generator `g = 2`.
+    pub fn exp(i: usize) -> Gf256 {
+        Gf256(EXP[i % 255])
+    }
+}
+
+impl fmt::Debug for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf256(0x{:02x})", self.0)
+    }
+}
+
+impl fmt::Display for Gf256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02x}", self.0)
+    }
+}
+
+impl Add for Gf256 {
+    type Output = Gf256;
+    fn add(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl AddAssign for Gf256 {
+    fn add_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for Gf256 {
+    type Output = Gf256;
+    fn sub(self, rhs: Gf256) -> Gf256 {
+        Gf256(self.0 ^ rhs.0)
+    }
+}
+
+impl SubAssign for Gf256 {
+    fn sub_assign(&mut self, rhs: Gf256) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Neg for Gf256 {
+    type Output = Gf256;
+    fn neg(self) -> Gf256 {
+        // Characteristic 2: every element is its own additive inverse.
+        self
+    }
+}
+
+impl Mul for Gf256 {
+    type Output = Gf256;
+    fn mul(self, rhs: Gf256) -> Gf256 {
+        Gf256(raw_mul(self.0, rhs.0))
+    }
+}
+
+impl MulAssign for Gf256 {
+    fn mul_assign(&mut self, rhs: Gf256) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div for Gf256 {
+    type Output = Gf256;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: Gf256) -> Gf256 {
+        let inv = rhs.inverse().expect("division by zero in GF(2^8)");
+        self * inv
+    }
+}
+
+impl DivAssign for Gf256 {
+    fn div_assign(&mut self, rhs: Gf256) {
+        *self = *self / rhs;
+    }
+}
+
+impl From<u8> for Gf256 {
+    fn from(value: u8) -> Self {
+        Gf256(value)
+    }
+}
+
+impl From<Gf256> for u8 {
+    fn from(value: Gf256) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn additive_identity_and_self_inverse() {
+        for a in 0..=255u8 {
+            let a = Gf256(a);
+            assert_eq!(a + Gf256::ZERO, a);
+            assert_eq!(a + a, Gf256::ZERO);
+            assert_eq!(-a, a);
+        }
+    }
+
+    #[test]
+    fn multiplicative_inverse() {
+        assert!(Gf256::ZERO.inverse().is_none());
+        for a in 1..=255u8 {
+            let a = Gf256(a);
+            assert_eq!(a * a.inverse().unwrap(), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        for a in 0..=255u8 {
+            let a = Gf256(a);
+            let mut acc = Gf256::ONE;
+            for e in 0..10 {
+                assert_eq!(a.pow(e), acc, "a={a:?} e={e}");
+                acc *= a;
+            }
+        }
+    }
+
+    #[test]
+    fn zero_pow_zero_is_one() {
+        assert_eq!(Gf256::ZERO.pow(0), Gf256::ONE);
+        assert_eq!(Gf256::ZERO.pow(3), Gf256::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_commutative(a in any::<u8>(), b in any::<u8>()) {
+            prop_assert_eq!(Gf256(a) * Gf256(b), Gf256(b) * Gf256(a));
+        }
+
+        #[test]
+        fn mul_associative(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+            let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn distributive(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+            let (a, b, c) = (Gf256(a), Gf256(b), Gf256(c));
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn division_roundtrip(a in any::<u8>(), b in 1..=255u8) {
+            let (a, b) = (Gf256(a), Gf256(b));
+            prop_assert_eq!((a * b) / b, a);
+            prop_assert_eq!((a / b) * b, a);
+        }
+    }
+}

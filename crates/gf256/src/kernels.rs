@@ -1,0 +1,174 @@
+//! Bulk slice kernels.
+//!
+//! During a repair every helper combines its locally stored slice `B_i` into
+//! a partial sum using a decoding coefficient `a_i`:
+//! `partial += a_i * B_i`. These kernels are the byte-level inner loops for
+//! that operation, working on whole slices at a time.
+
+use crate::tables::mul_table;
+use crate::Gf256;
+
+/// Computes `dst[j] = coeff * src[j]` for every byte.
+///
+/// # Panics
+///
+/// Panics if `dst` and `src` have different lengths.
+pub fn mul_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "mul_slice: src and dst must have equal length"
+    );
+    if coeff.is_zero() {
+        dst.fill(0);
+        return;
+    }
+    if coeff == Gf256::ONE {
+        dst.copy_from_slice(src);
+        return;
+    }
+    let row = &mul_table()[coeff.value() as usize];
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = row[*s as usize];
+    }
+}
+
+/// Computes `dst[j] ^= coeff * src[j]` for every byte (multiply-accumulate).
+///
+/// # Panics
+///
+/// Panics if `dst` and `src` have different lengths.
+pub fn mul_add_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "mul_add_slice: src and dst must have equal length"
+    );
+    if coeff.is_zero() {
+        return;
+    }
+    if coeff == Gf256::ONE {
+        for (d, s) in dst.iter_mut().zip(src.iter()) {
+            *d ^= *s;
+        }
+        return;
+    }
+    let row = &mul_table()[coeff.value() as usize];
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= row[*s as usize];
+    }
+}
+
+/// Computes `dst[j] ^= src[j]` for every byte (plain XOR accumulate).
+///
+/// # Panics
+///
+/// Panics if `dst` and `src` have different lengths.
+pub fn add_slice(src: &[u8], dst: &mut [u8]) {
+    assert_eq!(
+        src.len(),
+        dst.len(),
+        "add_slice: src and dst must have equal length"
+    );
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= *s;
+    }
+}
+
+/// Scales a slice in place: `data[j] = coeff * data[j]`.
+pub fn scale_slice_in_place(coeff: Gf256, data: &mut [u8]) {
+    if coeff == Gf256::ONE {
+        return;
+    }
+    if coeff.is_zero() {
+        data.fill(0);
+        return;
+    }
+    let row = &mul_table()[coeff.value() as usize];
+    for d in data.iter_mut() {
+        *d = row[*d as usize];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scalar_mul(coeff: u8, src: &[u8]) -> Vec<u8> {
+        src.iter()
+            .map(|&s| (Gf256(coeff) * Gf256(s)).value())
+            .collect()
+    }
+
+    #[test]
+    fn mul_slice_zero_coeff_clears() {
+        let src = vec![1, 2, 3, 4];
+        let mut dst = vec![9, 9, 9, 9];
+        mul_slice(Gf256::ZERO, &src, &mut dst);
+        assert_eq!(dst, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn mul_slice_one_coeff_copies() {
+        let src = vec![1, 2, 3, 4];
+        let mut dst = vec![0; 4];
+        mul_slice(Gf256::ONE, &src, &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mul_slice_length_mismatch_panics() {
+        let src = vec![1, 2, 3];
+        let mut dst = vec![0; 4];
+        mul_slice(Gf256::ONE, &src, &mut dst);
+    }
+
+    #[test]
+    fn mul_add_slice_zero_coeff_is_noop() {
+        let src = vec![1, 2, 3, 4];
+        let mut dst = vec![5, 6, 7, 8];
+        mul_add_slice(Gf256::ZERO, &src, &mut dst);
+        assert_eq!(dst, vec![5, 6, 7, 8]);
+    }
+
+    proptest! {
+        #[test]
+        fn mul_slice_matches_scalar(coeff in any::<u8>(), src in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let mut dst = vec![0u8; src.len()];
+            mul_slice(Gf256(coeff), &src, &mut dst);
+            prop_assert_eq!(dst, scalar_mul(coeff, &src));
+        }
+
+        #[test]
+        fn mul_add_matches_scalar(coeff in any::<u8>(),
+                                  src in proptest::collection::vec(any::<u8>(), 0..128),
+                                  seed in any::<u8>()) {
+            let mut dst = vec![seed; src.len()];
+            mul_add_slice(Gf256(coeff), &src, &mut dst);
+            let expected: Vec<u8> = scalar_mul(coeff, &src)
+                .iter()
+                .map(|&v| v ^ seed)
+                .collect();
+            prop_assert_eq!(dst, expected);
+        }
+
+        #[test]
+        fn add_slice_is_self_inverse(src in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let mut dst = vec![0u8; src.len()];
+            add_slice(&src, &mut dst);
+            add_slice(&src, &mut dst);
+            prop_assert!(dst.iter().all(|&b| b == 0));
+        }
+
+        #[test]
+        fn scale_in_place_matches_mul_slice(coeff in any::<u8>(), src in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let mut a = src.clone();
+            scale_slice_in_place(Gf256(coeff), &mut a);
+            let mut b = vec![0u8; src.len()];
+            mul_slice(Gf256(coeff), &src, &mut b);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

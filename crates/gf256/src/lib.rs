@@ -1,0 +1,41 @@
+//! Galois field GF(2^8) arithmetic and matrix algebra for erasure coding.
+//!
+//! This crate is the lowest-level substrate of the repair-pipelining
+//! reproduction. It provides:
+//!
+//! * [`Gf256`] — a single field element with full arithmetic (addition is
+//!   XOR; multiplication uses exp/log tables over the standard polynomial
+//!   `x^8 + x^4 + x^3 + x^2 + 1`, i.e. `0x11d`).
+//! * Bulk slice kernels ([`mul_slice`], [`mul_add_slice`], [`add_slice`]) —
+//!   the inner loops every helper node runs when combining slices during a
+//!   repair (`a_i * B_i` accumulated into a partial sum).
+//! * [`Matrix`] — a dense matrix over GF(2^8) with Gauss-Jordan inversion,
+//!   used to derive encoding matrices and single-block repair coefficients.
+//!
+//! # Examples
+//!
+//! ```
+//! use gf256::Gf256;
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xca);
+//! assert_eq!((a * b) / b, a);
+//! assert_eq!(a + a, Gf256::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod field;
+mod kernels;
+mod matrix;
+mod tables;
+
+pub use field::Gf256;
+pub use kernels::{add_slice, mul_add_slice, mul_slice, scale_slice_in_place};
+pub use matrix::Matrix;
+
+/// The number of elements in GF(2^8).
+pub const FIELD_SIZE: usize = 256;
+
+/// The irreducible polynomial used for multiplication, `x^8 + x^4 + x^3 + x^2 + 1`.
+pub const POLYNOMIAL: u16 = 0x11d;

@@ -1,0 +1,137 @@
+//! Compile-time generated exp/log tables for GF(2^8).
+
+use crate::POLYNOMIAL;
+
+/// `EXP[i] = g^i` where `g = 2` is a generator of the multiplicative group.
+///
+/// The table is doubled (512 entries) so that `EXP[log(a) + log(b)]` never
+/// needs a modular reduction of the exponent sum.
+pub const EXP: [u8; 512] = generate_exp();
+
+/// `LOG[a] = i` such that `g^i = a`, for `a != 0`. `LOG[0]` is unused and set
+/// to 0.
+pub const LOG: [u8; 256] = generate_log();
+
+const fn generate_exp() -> [u8; 512] {
+    let mut table = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        table[i] = x as u8;
+        table[i + 255] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= POLYNOMIAL;
+        }
+        i += 1;
+    }
+    // Index 510 and 511 are never reached by log(a)+log(b) <= 508, but fill
+    // them with consistent values anyway.
+    table[510] = table[0];
+    table[511] = table[1];
+    table
+}
+
+const fn generate_log() -> [u8; 256] {
+    let exp = generate_exp();
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        table[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    table
+}
+
+/// Full 256x256 multiplication table. Looked up by the bulk kernels so the
+/// per-byte inner loop is a single indexed load.
+pub fn mul_table() -> &'static [[u8; 256]; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<Box<[[u8; 256]; 256]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = Box::new([[0u8; 256]; 256]);
+        for a in 0..256usize {
+            for b in 0..256usize {
+                t[a][b] = raw_mul(a as u8, b as u8);
+            }
+        }
+        t
+    })
+}
+
+/// Scalar multiplication via the exp/log tables.
+pub const fn raw_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let exp = EXP;
+    let log = LOG;
+    exp[log[a as usize] as usize + log[b as usize] as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Carry-free "schoolbook" multiplication used as an oracle.
+    fn slow_mul(mut a: u8, mut b: u8) -> u8 {
+        let mut product: u8 = 0;
+        while b != 0 {
+            if b & 1 != 0 {
+                product ^= a;
+            }
+            let high = a & 0x80 != 0;
+            a <<= 1;
+            if high {
+                a ^= (POLYNOMIAL & 0xff) as u8;
+            }
+            b >>= 1;
+        }
+        product
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for a in 1..=255u8 {
+            assert_eq!(EXP[LOG[a as usize] as usize], a);
+        }
+    }
+
+    #[test]
+    fn exp_table_halves_agree() {
+        for i in 0..255 {
+            assert_eq!(EXP[i], EXP[i + 255]);
+        }
+    }
+
+    #[test]
+    fn raw_mul_matches_schoolbook() {
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(raw_mul(a, b), slow_mul(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_table_matches_raw_mul() {
+        let t = mul_table();
+        for a in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(t[a as usize][b as usize], raw_mul(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // g = 2 must generate all 255 non-zero elements.
+        let mut seen = [false; 256];
+        for i in 0..255 {
+            let v = EXP[i] as usize;
+            assert!(!seen[v], "repeated element before order 255");
+            seen[v] = true;
+        }
+        assert!(!seen[0]);
+    }
+}

@@ -1,0 +1,89 @@
+//! Conventional repair (§2.2).
+//!
+//! The requestor reads all `k` helper blocks over its own downlink and
+//! decodes locally. All `k` block transmissions converge on one link, so the
+//! repair takes `k` timeslots and the bandwidth usage is highly skewed.
+
+use simnet::{Schedule, TaskId};
+
+use crate::SingleRepairJob;
+
+/// Builds the conventional-repair schedule for a single-block repair.
+///
+/// For fairness with repair pipelining (as in the paper's evaluation, §6.1),
+/// blocks are transmitted in slices, which lets the requestor overlap its
+/// decoding computation with the remaining transfers; the repair time is
+/// still dominated by the `k` block transmissions over the requestor's
+/// downlink.
+pub fn schedule(job: &SingleRepairJob) -> Schedule {
+    let mut s = Schedule::new();
+    let slices = job.slice_count();
+    let k = job.k();
+    // Per-helper disk reads, per slice.
+    let mut disk: Vec<Vec<TaskId>> = Vec::with_capacity(k);
+    for &h in &job.helpers {
+        let reads: Vec<TaskId> = (0..slices)
+            .map(|j| s.disk_read(h, job.layout.slice_len(j) as u64, &[]))
+            .collect();
+        disk.push(reads);
+    }
+    // Slice-major transfers: for each slice offset, every helper ships its
+    // slice to the requestor; the requestor combines the k slices once they
+    // have all arrived.
+    for j in 0..slices {
+        let slice_len = job.layout.slice_len(j) as u64;
+        let mut arrivals: Vec<TaskId> = Vec::with_capacity(k);
+        for (i, &h) in job.helpers.iter().enumerate() {
+            let t = s.transfer(h, job.requestor, slice_len, &[disk[i][j]]);
+            arrivals.push(t);
+        }
+        s.compute(job.requestor, slice_len * k as u64, &arrivals);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use ecc::slice::SliceLayout;
+    use simnet::{CostModel, Simulator, Topology, GBIT};
+
+    const MIB: usize = 1024 * 1024;
+
+    #[test]
+    fn takes_k_timeslots_on_homogeneous_network() {
+        let block = 64 * MIB;
+        let job = SingleRepairJob::new((1..=10).collect(), 0, SliceLayout::new(block, 32 * 1024));
+        let sim = Simulator::new(Topology::flat(12, GBIT), CostModel::network_only());
+        let report = sim.run(&schedule(&job));
+        let timeslot = analysis::timeslot_seconds(block, GBIT);
+        let expected = analysis::conventional_single(10) * timeslot;
+        assert!(
+            (report.makespan - expected).abs() / expected < 0.02,
+            "makespan {} vs expected {}",
+            report.makespan,
+            expected
+        );
+    }
+
+    #[test]
+    fn repair_traffic_is_k_blocks() {
+        let block = 8 * MIB;
+        let job = SingleRepairJob::new(vec![1, 2, 3, 4], 0, SliceLayout::new(block, MIB));
+        let sim = Simulator::new(Topology::flat(6, GBIT), CostModel::network_only());
+        let report = sim.run(&schedule(&job));
+        assert_eq!(report.network_bytes, 4 * block as u64);
+    }
+
+    #[test]
+    fn requestor_downlink_is_the_bottleneck() {
+        let job = SingleRepairJob::new(vec![1, 2, 3, 4], 0, SliceLayout::new(MIB, 64 * 1024));
+        let sim = Simulator::new(Topology::flat(6, GBIT), CostModel::network_only());
+        let report = sim.run(&schedule(&job));
+        // All traffic flows over the four links into the requestor and every
+        // link carries exactly one block.
+        assert_eq!(report.links_used(), 4);
+        assert_eq!(report.max_link_bytes, MIB as u64);
+    }
+}

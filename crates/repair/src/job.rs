@@ -1,0 +1,175 @@
+//! Repair job descriptions shared by all schemes.
+
+use ecc::slice::SliceLayout;
+use simnet::NodeId;
+
+/// A single-block repair job: which nodes act as helpers, where the repaired
+/// block is delivered, and how the block is sliced.
+///
+/// The helper order matters for path-based schemes (repair pipelining uses it
+/// as the linear path `helpers[0] -> helpers[1] -> ... -> requestor`); the
+/// order is irrelevant for conventional repair and PPR.
+#[derive(Debug, Clone)]
+pub struct SingleRepairJob {
+    /// Nodes storing the helper blocks, in path order.
+    pub helpers: Vec<NodeId>,
+    /// The node that receives the reconstructed block (a degraded-read client
+    /// or a replacement node).
+    pub requestor: NodeId,
+    /// Block and slice sizes.
+    pub layout: SliceLayout,
+}
+
+impl SingleRepairJob {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no helpers, if the requestor is listed as a
+    /// helper, or if a helper appears twice.
+    pub fn new(helpers: Vec<NodeId>, requestor: NodeId, layout: SliceLayout) -> Self {
+        assert!(!helpers.is_empty(), "at least one helper required");
+        assert!(
+            !helpers.contains(&requestor),
+            "the requestor cannot also be a helper"
+        );
+        let mut sorted = helpers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), helpers.len(), "duplicate helper node");
+        SingleRepairJob {
+            helpers,
+            requestor,
+            layout,
+        }
+    }
+
+    /// The number of helpers (`k` for MDS codes).
+    pub fn k(&self) -> usize {
+        self.helpers.len()
+    }
+
+    /// The number of slices per block.
+    pub fn slice_count(&self) -> usize {
+        self.layout.slice_count()
+    }
+
+    /// Returns a copy of the job with the helpers reordered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the current helpers.
+    pub fn with_helper_order(&self, order: Vec<NodeId>) -> Self {
+        let mut a = self.helpers.clone();
+        let mut b = order.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "order must be a permutation of the helpers");
+        SingleRepairJob {
+            helpers: order,
+            requestor: self.requestor,
+            layout: self.layout,
+        }
+    }
+}
+
+/// A multi-block repair job (§4.4): `f` failed blocks of one stripe repaired
+/// from a shared set of helpers into `f` requestors.
+#[derive(Debug, Clone)]
+pub struct MultiRepairJob {
+    /// Nodes storing the helper blocks, in path order.
+    pub helpers: Vec<NodeId>,
+    /// One requestor per failed block.
+    pub requestors: Vec<NodeId>,
+    /// Block and slice sizes.
+    pub layout: SliceLayout,
+}
+
+impl MultiRepairJob {
+    /// Creates a multi-block job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no helpers or no requestors, or if a requestor is
+    /// also a helper.
+    pub fn new(helpers: Vec<NodeId>, requestors: Vec<NodeId>, layout: SliceLayout) -> Self {
+        assert!(!helpers.is_empty(), "at least one helper required");
+        assert!(!requestors.is_empty(), "at least one requestor required");
+        for r in &requestors {
+            assert!(
+                !helpers.contains(r),
+                "requestor {r} cannot also be a helper"
+            );
+        }
+        MultiRepairJob {
+            helpers,
+            requestors,
+            layout,
+        }
+    }
+
+    /// The number of failed blocks being repaired.
+    pub fn f(&self) -> usize {
+        self.requestors.len()
+    }
+
+    /// The number of helpers.
+    pub fn k(&self) -> usize {
+        self.helpers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> SliceLayout {
+        SliceLayout::new(1024, 128)
+    }
+
+    #[test]
+    fn job_accessors() {
+        let job = SingleRepairJob::new(vec![1, 2, 3, 4], 0, layout());
+        assert_eq!(job.k(), 4);
+        assert_eq!(job.slice_count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "requestor cannot also be a helper")]
+    fn requestor_as_helper_panics() {
+        SingleRepairJob::new(vec![0, 1], 0, layout());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate helper node")]
+    fn duplicate_helper_panics() {
+        SingleRepairJob::new(vec![1, 1, 2], 0, layout());
+    }
+
+    #[test]
+    fn reorder_helpers() {
+        let job = SingleRepairJob::new(vec![1, 2, 3], 0, layout());
+        let reordered = job.with_helper_order(vec![3, 1, 2]);
+        assert_eq!(reordered.helpers, vec![3, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn reorder_with_wrong_set_panics() {
+        let job = SingleRepairJob::new(vec![1, 2, 3], 0, layout());
+        job.with_helper_order(vec![4, 1, 2]);
+    }
+
+    #[test]
+    fn multi_job_counts() {
+        let job = MultiRepairJob::new(vec![1, 2, 3], vec![10, 11], layout());
+        assert_eq!(job.k(), 3);
+        assert_eq!(job.f(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot also be a helper")]
+    fn multi_job_requestor_overlap_panics() {
+        MultiRepairJob::new(vec![1, 2, 3], vec![2], layout());
+    }
+}

@@ -1,0 +1,85 @@
+//! Repair planning algorithms.
+//!
+//! This crate implements every repair scheme the paper designs or compares
+//! against, as *planners*: given which nodes hold the helper blocks, where
+//! the requestor(s) sit, and the slice layout, each scheme produces a
+//! [`simnet::Schedule`] — the DAG of slice-level transfers, disk reads and
+//! compute steps that the repair performs. The schedule can then be timed on
+//! the [`simnet`] simulator or executed for real by the `ecpipe` runtime.
+//!
+//! Schemes:
+//!
+//! * [`conventional`] — the requestor fetches `k` whole blocks (§2.2),
+//!   `O(k)` timeslots.
+//! * [`ppr`] — partial-parallel repair \[Mitra et al., EuroSys'16\]: a binary
+//!   aggregation tree, `ceil(log2(k+1))` timeslots (§2.2).
+//! * [`rp`] — repair pipelining over a linear path of helpers in slices
+//!   (§3.2), approaching one timeslot; plus the block-level and unparallelised
+//!   baselines of §6.4 (`Pipe-B`, `Pipe-S`).
+//! * [`cyclic`] — the cyclic extension for requestors behind a limited edge
+//!   link (§4.1).
+//! * [`rack_aware`] — Algorithm 1: rack-aware linear path selection (§4.2).
+//! * [`weighted_path`] — Algorithm 2: optimal path selection for arbitrary
+//!   heterogeneous links (§4.3), plus the brute-force oracle.
+//! * [`multiblock`] — multi-block repair of `f` failures in one stripe
+//!   (§4.4).
+//! * [`fullnode`] — full-node recovery across many stripes with greedy
+//!   least-recently-used helper scheduling (§3.3).
+//! * [`analysis`] — the paper's closed-form timeslot formulas, used as
+//!   oracles in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod conventional;
+pub mod cyclic;
+pub mod fullnode;
+pub mod multiblock;
+pub mod ppr;
+pub mod rack_aware;
+pub mod rp;
+pub mod weighted_path;
+
+mod job;
+
+pub use job::{MultiRepairJob, SingleRepairJob};
+
+use simnet::Schedule;
+
+/// The single-block repair schemes compared throughout the paper's
+/// evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Conventional repair: the requestor reads `k` whole blocks.
+    Conventional,
+    /// Partial-parallel repair (PPR): binary aggregation tree.
+    Ppr,
+    /// Repair pipelining over a linear path (the paper's contribution).
+    RepairPipelining,
+    /// Cyclic repair pipelining (parallel reads at the requestor, §4.1).
+    CyclicRepairPipelining,
+}
+
+impl Scheme {
+    /// A short label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::Conventional => "Conv.",
+            Scheme::Ppr => "PPR",
+            Scheme::RepairPipelining => "RP",
+            Scheme::CyclicRepairPipelining => "RP-cyclic",
+        }
+    }
+
+    /// Builds the slice-level schedule of this scheme for a single-block
+    /// repair job.
+    pub fn schedule(&self, job: &SingleRepairJob) -> Schedule {
+        match self {
+            Scheme::Conventional => conventional::schedule(job),
+            Scheme::Ppr => ppr::schedule(job),
+            Scheme::RepairPipelining => rp::schedule(job),
+            Scheme::CyclicRepairPipelining => cyclic::schedule(job),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Non-network cost model: disk I/O, coding computation and request
+//! overheads.
+//!
+//! The paper's analysis (§3.2) neglects computation and disk I/O because the
+//! network is the bottleneck at 1 Gb/s, but its evaluation shows two places
+//! where they matter: (i) very small slices suffer from the per-request
+//! overhead of issuing many slice transfers (Figure 8(a)), and (ii) at
+//! 10 Gb/s the computation and disk overheads become visible
+//! (Figure 8(i)). [`CostModel`] captures those effects.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-node, non-network costs applied to the tasks of a repair schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Sequential disk read throughput in bytes per second.
+    pub disk_read_bps: f64,
+    /// Erasure-coding computation throughput (GF(2^8) multiply-accumulate)
+    /// in bytes per second.
+    pub compute_bps: f64,
+    /// Fixed overhead added to every network transfer, in seconds. Models
+    /// the per-slice request/queueing overhead that penalises very small
+    /// slices.
+    pub per_transfer_overhead: f64,
+    /// Fixed cost of establishing a connection between two processes, in
+    /// seconds. Charged once per connection-setup task (the HDFS-3 original
+    /// repair path pays this k times, §6.3).
+    pub connection_setup: f64,
+}
+
+impl CostModel {
+    /// A model where only the network matters: infinite disk and compute
+    /// rates and no request overhead. Useful for verifying the timeslot
+    /// analysis of §3.
+    pub fn network_only() -> Self {
+        CostModel {
+            disk_read_bps: f64::INFINITY,
+            compute_bps: f64::INFINITY,
+            per_transfer_overhead: 0.0,
+            connection_setup: 0.0,
+        }
+    }
+
+    /// The paper's local-cluster machines: SATA disks around 180 MB/s,
+    /// single-core XOR/GF throughput in the GB/s range, and a small
+    /// per-request overhead measured from Figure 8(a)'s small-slice penalty.
+    pub fn paper_local_cluster() -> Self {
+        CostModel {
+            disk_read_bps: 180.0e6,
+            compute_bps: 2.5e9,
+            per_transfer_overhead: 20.0e-6,
+            connection_setup: 2.0e-3,
+        }
+    }
+
+    /// EC2 t2.micro instances: slower virtualised I/O and CPU, higher
+    /// request overhead.
+    pub fn ec2_t2_micro() -> Self {
+        CostModel {
+            disk_read_bps: 100.0e6,
+            compute_bps: 1.0e9,
+            per_transfer_overhead: 50.0e-6,
+            connection_setup: 5.0e-3,
+        }
+    }
+
+    /// Time to read `bytes` from the local disk.
+    pub fn disk_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.disk_read_bps
+    }
+
+    /// Time to run the coding computation over `bytes`.
+    pub fn compute_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.compute_bps
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::paper_local_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn network_only_has_no_overheads() {
+        let m = CostModel::network_only();
+        assert_eq!(m.disk_time(1 << 30), 0.0);
+        assert_eq!(m.compute_time(1 << 30), 0.0);
+        assert_eq!(m.per_transfer_overhead, 0.0);
+    }
+
+    #[test]
+    fn paper_model_disk_slower_than_compute() {
+        let m = CostModel::paper_local_cluster();
+        assert!(m.disk_time(1 << 26) > m.compute_time(1 << 26));
+    }
+
+    #[test]
+    fn default_is_paper_local_cluster() {
+        assert_eq!(CostModel::default(), CostModel::paper_local_cluster());
+    }
+}

@@ -1,0 +1,146 @@
+//! Geo-distributed Amazon EC2 topologies seeded from the paper's Table 1.
+//!
+//! The paper deploys two clusters of 16 helpers each: four EC2 instances in
+//! each of four regions in North America (California, Canada, Ohio, Oregon)
+//! and in Asia (Mumbai, Seoul, Singapore, Tokyo). Table 1 reports an `iperf`
+//! measurement of the inner- and cross-region bandwidth. These functions
+//! rebuild that environment as a [`Topology`], optionally perturbing the
+//! bandwidth values to model the fluctuation the paper observes across runs.
+
+use rand::prelude::*;
+
+use crate::topology::Topology;
+use crate::MBIT;
+
+/// Region names of the North America cluster, in Table 1 order.
+pub const NORTH_AMERICA_REGIONS: [&str; 4] = ["California", "Canada", "Ohio", "Oregon"];
+
+/// Region names of the Asia cluster, in Table 1 order.
+pub const ASIA_REGIONS: [&str; 4] = ["Mumbai", "Seoul", "Singapore", "Tokyo"];
+
+/// Table 1(a): North America inter-region bandwidth in Mb/s. Entry `(i, j)`
+/// is the measured bandwidth from region `i` to region `j`.
+pub const NORTH_AMERICA_MBPS: [[f64; 4]; 4] = [
+    [501.3, 57.2, 44.1, 299.9],
+    [55.3, 732.0, 63.3, 48.0],
+    [46.3, 65.7, 332.5, 95.6],
+    [297.8, 50.2, 93.6, 250.1],
+];
+
+/// Table 1(b): Asia inter-region bandwidth in Mb/s.
+pub const ASIA_MBPS: [[f64; 4]; 4] = [
+    [624.8, 62.3, 39.5, 37.7],
+    [63.8, 265.7, 86.1, 183.2],
+    [41.5, 88.1, 493.0, 49.1],
+    [39.7, 181.0, 46.9, 489.1],
+];
+
+fn matrix_to_bps(mbps: &[[f64; 4]; 4]) -> Vec<Vec<f64>> {
+    mbps.iter()
+        .map(|row| row.iter().map(|v| v * MBIT).collect())
+        .collect()
+}
+
+/// Builds the North America EC2 cluster: `nodes_per_region` helpers in each
+/// of the four regions, with Table 1(a) bandwidth.
+pub fn north_america(nodes_per_region: usize) -> Topology {
+    Topology::geo(&[nodes_per_region; 4], &matrix_to_bps(&NORTH_AMERICA_MBPS))
+}
+
+/// Builds the Asia EC2 cluster with Table 1(b) bandwidth.
+pub fn asia(nodes_per_region: usize) -> Topology {
+    Topology::geo(&[nodes_per_region; 4], &matrix_to_bps(&ASIA_MBPS))
+}
+
+/// Applies multiplicative noise to every link of a geo topology, modelling
+/// the bandwidth fluctuation the paper reports across EC2 runs. Each directed
+/// link bandwidth is scaled by a factor drawn uniformly from
+/// `[1 - variance, 1 + variance]`.
+///
+/// # Panics
+///
+/// Panics if `variance` is not within `[0, 1)`.
+pub fn with_fluctuation(topo: &Topology, variance: f64, seed: u64) -> Topology {
+    assert!((0.0..1.0).contains(&variance), "variance must be in [0, 1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = topo.clone();
+    let n = topo.num_nodes();
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                continue;
+            }
+            let factor = 1.0 + rng.gen_range(-variance..=variance);
+            out.set_link_bandwidth(src, dst, topo.bandwidth(src, dst) * factor);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn north_america_matches_table1() {
+        let topo = north_america(4);
+        assert_eq!(topo.num_nodes(), 16);
+        // Node 0 is in California, node 4 in Canada.
+        let expected = 57.2 * MBIT;
+        assert!((topo.bandwidth(0, 4) - expected).abs() < 1.0);
+        // Inner-region links use the diagonal.
+        assert!((topo.bandwidth(0, 1) - 501.3 * MBIT).abs() < 1.0);
+    }
+
+    #[test]
+    fn asia_matches_table1() {
+        let topo = asia(4);
+        // Mumbai -> Singapore is the slowest Asia link in Table 1.
+        assert!((topo.bandwidth(0, 8) - 39.5 * MBIT).abs() < 1.0);
+    }
+
+    #[test]
+    fn cross_region_slower_than_inner_region_on_average() {
+        // Table 1 has one exception (Oregon -> California is faster than
+        // Oregon's inner-region link), so compare the averages as the paper
+        // does ("inner-region bandwidth is in general more abundant").
+        for matrix in [NORTH_AMERICA_MBPS, ASIA_MBPS] {
+            let inner: f64 = (0..4).map(|i| matrix[i][i]).sum::<f64>() / 4.0;
+            let mut cross_sum = 0.0;
+            let mut cross_count = 0;
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        cross_sum += matrix[i][j];
+                        cross_count += 1;
+                    }
+                }
+            }
+            assert!(inner > 2.0 * cross_sum / cross_count as f64);
+        }
+    }
+
+    #[test]
+    fn fluctuation_is_bounded_and_deterministic() {
+        let topo = north_america(4);
+        let noisy1 = with_fluctuation(&topo, 0.2, 42);
+        let noisy2 = with_fluctuation(&topo, 0.2, 42);
+        for src in 0..16 {
+            for dst in 0..16 {
+                if src == dst {
+                    continue;
+                }
+                let base = topo.bandwidth(src, dst);
+                let a = noisy1.bandwidth(src, dst);
+                assert!(a >= base * 0.8 - 1.0 && a <= base * 1.2 + 1.0);
+                assert_eq!(a, noisy2.bandwidth(src, dst));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be in [0, 1)")]
+    fn invalid_variance_panics() {
+        with_fluctuation(&north_america(1), 1.5, 0);
+    }
+}

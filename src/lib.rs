@@ -1,0 +1,22 @@
+//! Umbrella crate for the repair-pipelining reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the individual crates for detailed documentation:
+//!
+//! * [`gf256`] — GF(2^8) arithmetic and matrices.
+//! * [`ecc`] — Reed-Solomon, LRC and Rotated RS codes, stripes and slices.
+//! * [`simnet`] — discrete-event cluster/network simulator.
+//! * [`repair`] — repair planning algorithms (conventional, PPR, repair
+//!   pipelining and its extensions).
+//! * [`ecpipe`] — the ECPipe middleware runtime (coordinator / helpers /
+//!   requestors over real threads and channels).
+//! * [`dfs`] — models of HDFS-RAID, HDFS-3 and QFS used by the evaluation.
+
+#![forbid(unsafe_code)]
+
+pub use dfs;
+pub use ecc;
+pub use ecpipe;
+pub use gf256;
+pub use repair;
+pub use simnet;
