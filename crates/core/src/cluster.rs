@@ -205,10 +205,10 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), 6);
         // Data blocks readable and identical to the input.
-        for i in 0..4 {
+        for (i, block) in data.iter().enumerate() {
             assert_eq!(
                 cluster.read_block(stripe, i).unwrap(),
-                Bytes::from(data[i].clone())
+                Bytes::from(block.clone())
             );
         }
     }

@@ -49,6 +49,9 @@ impl RepairVariant {
 /// repair: conventional repair, with the reconstructing node opening `k`
 /// connections serially and ingesting every helper block through the
 /// storage-routine read path.
+// Slice index loops mirror the paper's per-slice schedule and index the
+// per-helper read matrix; iterator form would obscure that structure.
+#[allow(clippy::needless_range_loop)]
 pub fn original_repair_schedule(profile: &SystemProfile, job: &SingleRepairJob) -> Schedule {
     let mut s = Schedule::new();
     let slices = job.slice_count();

@@ -56,7 +56,7 @@ impl Lrc {
                 reason: "k, l and g must all be positive".to_string(),
             });
         }
-        if k % local_groups != 0 {
+        if !k.is_multiple_of(local_groups) {
             return Err(CodeError::InvalidParameters {
                 reason: format!(
                     "k ({k}) must be divisible by the number of local groups ({local_groups})"
@@ -465,10 +465,10 @@ mod tests {
         let data = random_data(12, 24, 8);
         let coded = lrc.encode(&data).unwrap();
         let blocks: Vec<Option<Vec<u8>>> = coded.iter().cloned().map(Some).collect();
-        for failed in 0..16 {
+        for (failed, expected) in coded.iter().enumerate() {
             let available: Vec<usize> = (0..16).filter(|&i| i != failed).collect();
             let plan = lrc.repair_plan(failed, &available).unwrap();
-            assert_eq!(plan.evaluate(&blocks), coded[failed], "block {failed}");
+            assert_eq!(&plan.evaluate(&blocks), expected, "block {failed}");
             if lrc.group_of(failed).is_some() {
                 assert_eq!(
                     plan.helper_count(),

@@ -113,7 +113,7 @@ impl RotatedRs {
             });
         }
         let len = data[0].len();
-        if data.iter().any(|b| b.len() != len) || len % self.rows != 0 {
+        if data.iter().any(|b| b.len() != len) || !len.is_multiple_of(self.rows) {
             return Err(CodeError::InvalidBlockSize {
                 reason: format!(
                     "block length must be uniform and divisible by rows ({})",
@@ -242,12 +242,12 @@ impl RotatedRs {
                     available: 0,
                 })?[parity_row * row_len..(parity_row + 1) * row_len]
                     .to_vec();
-                for l in 0..self.k {
+                for (l, block) in blocks.iter().enumerate().take(self.k) {
                     if l == failed {
                         continue;
                     }
                     let src_row = (parity_row + self.rotation(l)) % self.rows;
-                    let src = &blocks[l].as_ref().ok_or(CodeError::NotEnoughBlocks {
+                    let src = &block.as_ref().ok_or(CodeError::NotEnoughBlocks {
                         needed: 1,
                         available: 0,
                     })?[src_row * row_len..(src_row + 1) * row_len];

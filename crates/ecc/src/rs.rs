@@ -351,10 +351,10 @@ mod tests {
         let data = random_data(10, 40, 7);
         let coded = rs.encode(&data).unwrap();
         let blocks: Vec<Option<Vec<u8>>> = coded.iter().cloned().map(Some).collect();
-        for failed in 0..14 {
+        for (failed, expected) in coded.iter().enumerate() {
             let available: Vec<usize> = (0..14).filter(|&i| i != failed).collect();
             let plan = rs.repair_plan(failed, &available).unwrap();
-            assert_eq!(plan.evaluate(&blocks), coded[failed]);
+            assert_eq!(&plan.evaluate(&blocks), expected);
         }
     }
 

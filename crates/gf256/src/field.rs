@@ -1,5 +1,9 @@
 //! A single GF(2^8) field element.
 
+// In characteristic 2, addition and subtraction ARE xor, and division is
+// multiplication by the inverse — exactly what this lint flags.
+#![allow(clippy::suspicious_arithmetic_impl, clippy::suspicious_op_assign_impl)]
+
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 

@@ -157,11 +157,10 @@ impl Matrix {
         assert_eq!(vec.len(), self.cols, "vector length must match columns");
         (0..self.rows)
             .map(|i| {
-                let mut acc = Gf256::ZERO;
-                for j in 0..self.cols {
-                    acc += self.get(i, j) * vec[j];
-                }
-                acc
+                self.row(i)
+                    .iter()
+                    .zip(vec)
+                    .fold(Gf256::ZERO, |acc, (&a, &x)| acc + a * x)
             })
             .collect()
     }
@@ -346,8 +345,8 @@ mod tests {
         }
         let prod = m.mul(&col);
         let vec_prod = m.mul_vec(&v);
-        for i in 0..3 {
-            assert_eq!(prod.get(i, 0), vec_prod[i]);
+        for (i, &expected) in vec_prod.iter().enumerate() {
+            assert_eq!(prod.get(i, 0), expected);
         }
     }
 

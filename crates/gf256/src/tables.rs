@@ -127,8 +127,8 @@ mod tests {
     fn generator_has_full_order() {
         // g = 2 must generate all 255 non-zero elements.
         let mut seen = [false; 256];
-        for i in 0..255 {
-            let v = EXP[i] as usize;
+        for &e in EXP.iter().take(255) {
+            let v = e as usize;
             assert!(!seen[v], "repeated element before order 255");
             seen[v] = true;
         }

@@ -15,6 +15,7 @@ use crate::SingleRepairJob;
 /// decoding computation with the remaining transfers; the repair time is
 /// still dominated by the `k` block transmissions over the requestor's
 /// downlink.
+#[allow(clippy::needless_range_loop)] // slice-major loops index disk[i][j]
 pub fn schedule(job: &SingleRepairJob) -> Schedule {
     let mut s = Schedule::new();
     let slices = job.slice_count();

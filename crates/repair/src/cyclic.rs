@@ -16,6 +16,7 @@ use simnet::{Schedule, TaskId};
 use crate::SingleRepairJob;
 
 /// Builds the cyclic repair-pipelining schedule.
+#[allow(clippy::needless_range_loop)] // wave loops index the pending-slice table
 pub fn schedule(job: &SingleRepairJob) -> Schedule {
     let mut s = Schedule::new();
     let slices = job.slice_count();

@@ -12,6 +12,7 @@ use simnet::{Schedule, TaskId};
 use crate::MultiRepairJob;
 
 /// Builds the repair-pipelining multi-block schedule (§4.4, Figure 6).
+#[allow(clippy::needless_range_loop)] // slice/helper loops index disk[i][j]
 pub fn schedule_rp(job: &MultiRepairJob) -> Schedule {
     let mut s = Schedule::new();
     let slices = job.layout.slice_count();
@@ -63,6 +64,7 @@ pub fn schedule_rp(job: &MultiRepairJob) -> Schedule {
 /// requestor reads `k` whole blocks, reconstructs everything, and ships the
 /// remaining `f - 1` reconstructed blocks to the other requestors
 /// (`k + f - 1` timeslots).
+#[allow(clippy::needless_range_loop)] // slice/helper loops index disk[i][j]
 pub fn schedule_conventional(job: &MultiRepairJob) -> Schedule {
     let mut s = Schedule::new();
     let slices = job.layout.slice_count();

@@ -83,6 +83,9 @@ pub fn optimal_path<W: LinkWeights>(
     let mut path: Vec<NodeId> = Vec::with_capacity(k);
     let mut used = vec![false; candidates.len()];
 
+    // The recursion carries the whole search state; bundling it into a
+    // struct would just rename the arguments.
+    #[allow(clippy::too_many_arguments)]
     fn extend<W: LinkWeights>(
         weights: &W,
         requestor: NodeId,

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as metadata on
+//! plain-old-data types; nothing actually serializes through serde at
+//! runtime. With no registry access, these derives expand to empty token
+//! streams so the annotations compile. Swap the `serde` path dependency for
+//! the real crate to restore real impls; no call sites change.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

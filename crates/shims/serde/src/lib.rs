@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports no-op `Serialize` / `Deserialize` derive macros (see the
+//! sibling `serde_derive` shim) plus empty marker traits of the same names,
+//! so both `#[derive(Serialize)]` and `T: Serialize` bounds compile. Nothing
+//! in this workspace serializes through serde at runtime; swap the path
+//! dependency for the real crate when a registry is available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive
+/// does not implement it — use the real crate for actual serialization).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods).
+pub trait DeserializeMarker<'de> {}

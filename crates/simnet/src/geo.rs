@@ -108,10 +108,10 @@ mod tests {
             let inner: f64 = (0..4).map(|i| matrix[i][i]).sum::<f64>() / 4.0;
             let mut cross_sum = 0.0;
             let mut cross_count = 0;
-            for i in 0..4 {
-                for j in 0..4 {
+            for (i, row) in matrix.iter().enumerate() {
+                for (j, &bw) in row.iter().enumerate() {
                     if i != j {
-                        cross_sum += matrix[i][j];
+                        cross_sum += bw;
                         cross_count += 1;
                     }
                 }

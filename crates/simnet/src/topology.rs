@@ -64,7 +64,7 @@ impl Topology {
         assert!(num_nodes > 0, "topology must have at least one node");
         let mut rack = Vec::with_capacity(num_nodes);
         for (r, &count) in nodes_per_rack.iter().enumerate() {
-            rack.extend(std::iter::repeat(r).take(count));
+            rack.extend(std::iter::repeat_n(r, count));
         }
         let nic = inner_rack_bw.max(cross_rack_bw);
         Topology {
@@ -92,7 +92,7 @@ impl Topology {
         assert!(num_nodes > 0, "topology must have at least one node");
         let mut region = Vec::with_capacity(num_nodes);
         for (r, &count) in nodes_per_region.iter().enumerate() {
-            region.extend(std::iter::repeat(r).take(count));
+            region.extend(std::iter::repeat_n(r, count));
         }
         let max_bw = region_bw
             .iter()

@@ -1,0 +1,257 @@
+//! Regression tests for degenerate inputs: the smallest legal codes, blocks
+//! and paths must repair correctly rather than panic, and clearly-invalid
+//! inputs must surface typed errors.
+
+use std::sync::Arc;
+
+use repair_pipelining::dfs::{RepairPath, SimulatedDfs, SystemProfile};
+use repair_pipelining::ecc::slice::SliceLayout;
+use repair_pipelining::ecc::{CodeError, ErasureCode, Lrc, ReedSolomon};
+use repair_pipelining::ecpipe::exec::{execute_multi, ExecStrategy};
+use repair_pipelining::ecpipe::transport::Transport;
+use repair_pipelining::ecpipe::{Cluster, Coordinator};
+use repair_pipelining::gf256::Matrix;
+use repair_pipelining::repair::weighted_path::{optimal_path, WeightMatrix};
+use repair_pipelining::repair::{ppr, SingleRepairJob};
+use repair_pipelining::simnet;
+
+/// The smallest legal MDS code, `(2, 1)`: a repair job with a single helper
+/// must work through every execution strategy (the pipeline degenerates to a
+/// direct copy).
+#[test]
+fn k1_repair_through_every_strategy() {
+    let code = Arc::new(ReedSolomon::new(2, 1).unwrap());
+    let layout = SliceLayout::new(4096, 512);
+    let data = vec![(0..4096).map(|i| (i % 251) as u8).collect::<Vec<u8>>()];
+    let coded = code.encode(&data).unwrap();
+
+    for failed in [0usize, 1] {
+        let mut coordinator = Coordinator::new(code.clone(), layout);
+        let mut cluster = Cluster::in_memory(4);
+        let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
+        cluster.erase_block(stripe, failed);
+        for strategy in [
+            ExecStrategy::Conventional,
+            ExecStrategy::Ppr,
+            ExecStrategy::RepairPipelining,
+            ExecStrategy::BlockPipeline,
+        ] {
+            let repaired = cluster
+                .repair(&mut coordinator, stripe, failed, 3, strategy)
+                .unwrap();
+            assert_eq!(repaired, coded[failed], "failed={failed} {strategy:?}");
+        }
+    }
+}
+
+/// A single-helper job is a valid degenerate path for every scheduler.
+#[test]
+fn k1_schedules_are_well_formed() {
+    let job = SingleRepairJob::new(vec![0], 1, SliceLayout::new(1024, 256));
+    assert_eq!(job.k(), 1);
+    // None of the schedule builders may panic on a one-hop path.
+    let _ = repair_pipelining::repair::rp::schedule(&job);
+    let _ = repair_pipelining::repair::rp::schedule_pipe_b(&job);
+    let _ = repair_pipelining::repair::rp::schedule_pipe_s(&job);
+    let _ = repair_pipelining::repair::conventional::schedule(&job);
+    let _ = repair_pipelining::repair::ppr::schedule(&job);
+    let _ = repair_pipelining::repair::cyclic::schedule(&job);
+}
+
+/// PPR aggregation over a single helper is one direct delivery.
+#[test]
+fn ppr_rounds_single_helper() {
+    let rounds = ppr::aggregation_rounds(&[4], 9);
+    let transfers: usize = rounds.iter().map(|r| r.len()).sum();
+    assert_eq!(transfers, 1);
+    assert!(rounds
+        .iter()
+        .flatten()
+        .any(|&(src, dst)| src == 4 && dst == 9));
+}
+
+/// One-byte blocks: the layout collapses to a single one-byte slice and the
+/// whole runtime still round-trips the bytes.
+#[test]
+fn one_byte_block_repair() {
+    let code = Arc::new(ReedSolomon::new(5, 3).unwrap());
+    let layout = SliceLayout::new(1, 1);
+    assert_eq!(layout.slice_count(), 1);
+    assert_eq!(layout.slice_len(0), 1);
+
+    let data = vec![vec![7u8], vec![11u8], vec![13u8]];
+    let coded = code.encode(&data).unwrap();
+    let mut coordinator = Coordinator::new(code.clone(), layout);
+    let mut cluster = Cluster::in_memory(7);
+    let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
+    cluster.erase_block(stripe, 2);
+    let repaired = cluster
+        .repair(
+            &mut coordinator,
+            stripe,
+            2,
+            6,
+            ExecStrategy::RepairPipelining,
+        )
+        .unwrap();
+    assert_eq!(repaired, coded[2]);
+}
+
+/// Slice sizes larger than the block are clamped rather than producing
+/// zero-byte slices.
+#[test]
+fn oversized_slice_is_clamped_not_zero() {
+    let layout = SliceLayout::new(10, 1 << 20);
+    assert_eq!(layout.slice_count(), 1);
+    assert_eq!(layout.slice_range(0), 0..10);
+    let block = vec![42u8; 10];
+    assert_eq!(layout.join(&layout.split(&block)), block);
+}
+
+/// Zero-sized layouts are rejected loudly (documented panic), not by
+/// producing empty slices that would wedge the pipeline.
+#[test]
+#[should_panic(expected = "block size must be positive")]
+fn zero_block_size_is_rejected() {
+    let _ = SliceLayout::new(0, 1024);
+}
+
+#[test]
+#[should_panic(expected = "slice size must be positive")]
+fn zero_slice_size_is_rejected() {
+    let _ = SliceLayout::new(1024, 0);
+}
+
+/// Singular matrices must report `None` from inversion, never panic, and the
+/// codes must translate that into a typed error.
+#[test]
+fn singular_matrix_inversion_returns_none() {
+    // Two identical rows: rank 1.
+    let singular = Matrix::from_bytes(2, 2, &[3, 5, 3, 5]);
+    assert!(singular.invert().is_none());
+    // The all-zero matrix.
+    assert!(Matrix::zero(4, 4).invert().is_none());
+}
+
+/// Asking for a decode with fewer than `k` blocks is an error, not a panic.
+#[test]
+fn insufficient_blocks_is_a_typed_error() {
+    let rs = ReedSolomon::new(6, 4).unwrap();
+    let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8; 8]).collect();
+    let coded = rs.encode(&data).unwrap();
+    let few: Vec<(usize, Vec<u8>)> = (0..3).map(|i| (i, coded[i].clone())).collect();
+    match rs.decode(&few) {
+        Err(CodeError::NotEnoughBlocks { needed, available }) => {
+            assert_eq!((needed, available), (4, 3));
+        }
+        other => panic!("expected NotEnoughBlocks, got {other:?}"),
+    }
+    match rs.repair_plan(0, &[1, 2, 3]) {
+        Err(CodeError::NotEnoughBlocks { .. }) => {}
+        other => panic!("expected NotEnoughBlocks, got {other:?}"),
+    }
+}
+
+/// Invalid code parameters are rejected at construction.
+#[test]
+fn invalid_code_parameters_are_rejected() {
+    assert!(ReedSolomon::new(4, 0).is_err());
+    assert!(ReedSolomon::new(4, 4).is_err());
+    assert!(ReedSolomon::new(3, 5).is_err());
+    assert!(ReedSolomon::new(300, 10).is_err());
+}
+
+/// Weighted path search at the degenerate extremes: a path of one helper, and
+/// a path using every candidate.
+#[test]
+fn weighted_path_degenerate_sizes() {
+    let n = 5;
+    let weights: Vec<f64> = (0..n * n).map(|i| 0.1 + (i % 7) as f64 * 0.1).collect();
+    let w = WeightMatrix::new(n, weights);
+    let candidates: Vec<usize> = (1..n).collect();
+
+    let single = optimal_path(&w, 0, &candidates, 1).unwrap();
+    assert_eq!(single.path.len(), 1);
+
+    let all = optimal_path(&w, 0, &candidates, candidates.len()).unwrap();
+    assert_eq!(all.path.len(), candidates.len());
+
+    // Asking for more helpers than exist must not panic.
+    assert!(optimal_path(&w, 0, &candidates, candidates.len() + 1).is_none());
+    assert!(optimal_path(&w, 0, &candidates, 0).is_none());
+}
+
+/// LRC local repair when only the local group survives: the plan must use the
+/// local parity alone and still reconstruct the exact bytes.
+#[test]
+fn lrc_local_repair_with_minimal_availability() {
+    let lrc = Lrc::new(12, 2, 2).unwrap();
+    let data: Vec<Vec<u8>> = (0..12).map(|i| vec![i as u8; 8]).collect();
+    let coded = lrc.encode(&data).unwrap();
+    let avail: Vec<usize> = lrc
+        .group_members(0)
+        .into_iter()
+        .filter(|&i| i != 0)
+        .collect();
+    let plan = lrc.repair_plan(0, &avail).unwrap();
+    let blocks: Vec<Option<Vec<u8>>> = coded.iter().cloned().map(Some).collect();
+    assert_eq!(plan.evaluate(&blocks), coded[0]);
+}
+
+/// Multi-block repair where every failed block is a parity block.
+#[test]
+fn multi_repair_of_all_parity_blocks() {
+    let code = Arc::new(ReedSolomon::new(14, 10).unwrap());
+    let layout = SliceLayout::new(4096, 1024);
+    let mut coordinator = Coordinator::new(code.clone(), layout);
+    let mut cluster = Cluster::in_memory(20);
+    let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 4096]).collect();
+    let coded = code.encode(&data).unwrap();
+    let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
+    let failed = vec![10, 11, 12, 13];
+    for &f in &failed {
+        cluster.erase_block(stripe, f);
+    }
+    let directive = coordinator
+        .plan_multi_repair(stripe, &failed, &[16, 17, 18, 19])
+        .unwrap();
+    let transport = Transport::new();
+    let repaired = execute_multi(&directive, &cluster, &transport).unwrap();
+    for (j, &f) in directive.plan.failed.iter().enumerate() {
+        assert_eq!(repaired[j], coded[f], "parity block {f}");
+    }
+}
+
+/// Files smaller than one block (and empty files) round-trip through the DFS
+/// models, including a degraded read of a sub-block file.
+#[test]
+fn dfs_sub_block_and_empty_files() {
+    let profile = SystemProfile::hdfs3().with_block_size(1024);
+    let mut dfs = SimulatedDfs::new(profile, 20).unwrap();
+
+    let meta = dfs.write_file("/tiny", &[1, 2, 3]).unwrap();
+    dfs.erase_block(meta.stripes[0], 0);
+    let back = dfs
+        .read_file("/tiny", RepairPath::EcPipe(ExecStrategy::RepairPipelining))
+        .unwrap();
+    assert_eq!(back, vec![1, 2, 3]);
+
+    dfs.write_file("/empty", &[]).unwrap();
+    assert!(dfs
+        .read_file("/empty", RepairPath::Original)
+        .unwrap()
+        .is_empty());
+}
+
+/// An empty schedule and a single-task schedule both simulate cleanly.
+#[test]
+fn simulator_degenerate_schedules() {
+    let topo = simnet::Topology::flat(4, 1e9);
+    let sim = simnet::Simulator::new(topo, simnet::CostModel::default());
+    let report = sim.run(&simnet::Schedule::new());
+    assert_eq!(report.makespan, 0.0);
+
+    let mut s = simnet::Schedule::new();
+    s.transfer(0, 1, 1024, &[]);
+    assert!(sim.run(&s).makespan > 0.0);
+}

@@ -1,0 +1,41 @@
+//! Smoke tests that actually run the examples, so they cannot silently rot.
+//!
+//! `cargo test` already compiles every example; these tests additionally
+//! execute them end-to-end (each finishes in a few seconds in the dev
+//! profile).
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let output = Command::new(env!("CARGO"))
+        .args(["run", "--quiet", "--example", name])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs() {
+    run_example("quickstart");
+}
+
+#[test]
+fn degraded_read_runs() {
+    run_example("degraded_read");
+}
+
+#[test]
+fn full_node_recovery_runs() {
+    run_example("full_node_recovery");
+}
+
+#[test]
+fn geo_repair_runs() {
+    run_example("geo_repair");
+}
