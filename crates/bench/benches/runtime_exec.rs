@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use ecc::slice::SliceLayout;
 use ecc::ReedSolomon;
 use ecpipe::exec::{execute_single, ExecStrategy};
-use ecpipe::transport::Transport;
+use ecpipe::transport::ChannelTransport;
 use ecpipe::{Cluster, Coordinator, SelectionPolicy};
 
 const BLOCK: usize = 4 * 1024 * 1024;
@@ -43,7 +43,7 @@ fn bench_runtime(c: &mut Criterion) {
             &strategy,
             |b, &strategy| {
                 b.iter(|| {
-                    let transport = Transport::new();
+                    let transport = ChannelTransport::new();
                     execute_single(&directive, &cluster, &transport, strategy).unwrap()
                 });
             },

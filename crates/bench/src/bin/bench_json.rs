@@ -1,0 +1,47 @@
+//! Turns a `BENCH_RESULTS_LOG` file into the `BENCH_results.json` artifact.
+//!
+//! ```sh
+//! BENCH_SMOKE=1 BENCH_RESULTS_LOG=bench-log.tsv cargo bench -p ecpipe-bench \
+//!     --bench gf_kernels --bench runtime_exec
+//! cargo run -p ecpipe-bench --bin bench_json -- bench-log.tsv BENCH_results.json
+//! ```
+//!
+//! Exits non-zero (failing the CI job) if the log is missing, empty or
+//! malformed, or if the output cannot be written — a benchmark pipeline
+//! that cannot produce numbers must not pretend it did.
+
+use ecpipe_bench::results::{parse_log, render_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (log_path, out_path) = match &args[1..] {
+        [log, out] => (log.clone(), out.clone()),
+        _ => {
+            eprintln!("usage: bench_json <bench-results-log> <output-json>");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&log_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench_json: cannot read {log_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let records = match parse_log(&text) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("bench_json: malformed bench log {log_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = render_json(&records);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_json: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "bench_json: wrote {} benchmark result(s) to {out_path}",
+        records.len()
+    );
+}

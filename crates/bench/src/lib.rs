@@ -74,6 +74,8 @@ pub fn direct_send_time(sim: &Simulator, block_size: usize) -> f64 {
     sim.run(&schedule).makespan
 }
 
+pub mod results;
+
 /// Prints a figure header.
 pub fn header(figure: &str, description: &str) {
     println!("================================================================");

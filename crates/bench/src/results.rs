@@ -1,0 +1,196 @@
+//! The benchmark-results pipeline behind CI's `BENCH_results.json` artifact.
+//!
+//! `cargo bench` run with `BENCH_RESULTS_LOG=<path>` (see the criterion
+//! shim) appends one tab-separated record per benchmark:
+//!
+//! ```text
+//! name \t ns_per_iter \t bytes_per_sec \t elements_per_sec
+//! ```
+//!
+//! where the two throughput fields are `-` when the bench has no such
+//! annotation. [`parse_log`] validates that log strictly — a malformed line
+//! is an error, not a skip, so CI fails loudly instead of uploading a
+//! silently truncated artifact — and [`render_json`] turns the records into
+//! the JSON document the `bench_json` binary writes:
+//!
+//! ```json
+//! {
+//!   "benchmarks": [
+//!     {"name": "gf_kernels/mul_slice/32768", "ns_per_iter": 1234.5,
+//!      "bytes_per_sec": 26543210.9}
+//!   ]
+//! }
+//! ```
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Benchmark name (`group/function/param`).
+    pub name: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Throughput, when the bench declared `Throughput::Bytes`.
+    pub bytes_per_sec: Option<f64>,
+    /// Throughput, when the bench declared `Throughput::Elements`.
+    pub elements_per_sec: Option<f64>,
+}
+
+fn parse_throughput(field: &str, line_no: usize, what: &str) -> Result<Option<f64>, String> {
+    if field == "-" {
+        return Ok(None);
+    }
+    field
+        .parse::<f64>()
+        .ok()
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .map(Some)
+        .ok_or_else(|| format!("line {line_no}: bad {what} field {field:?}"))
+}
+
+/// Parses a `BENCH_RESULTS_LOG` file. Blank lines are ignored; any other
+/// deviation from the four-field record format is an error.
+pub fn parse_log(text: &str) -> Result<Vec<BenchRecord>, String> {
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 4 {
+            return Err(format!(
+                "line {line_no}: expected 4 tab-separated fields, got {}",
+                fields.len()
+            ));
+        }
+        if fields[0].is_empty() {
+            return Err(format!("line {line_no}: empty benchmark name"));
+        }
+        if !seen.insert(fields[0].to_string()) {
+            return Err(format!(
+                "line {line_no}: duplicate benchmark name {:?} — \
+                 stale log appended across runs? delete it and re-run",
+                fields[0]
+            ));
+        }
+        let ns_per_iter = fields[1]
+            .parse::<f64>()
+            .ok()
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("line {line_no}: bad ns_per_iter field {:?}", fields[1]))?;
+        records.push(BenchRecord {
+            name: fields[0].to_string(),
+            ns_per_iter,
+            bytes_per_sec: parse_throughput(fields[2], line_no, "bytes_per_sec")?,
+            elements_per_sec: parse_throughput(fields[3], line_no, "elements_per_sec")?,
+        });
+    }
+    if records.is_empty() {
+        return Err("no benchmark records found".to_string());
+    }
+    records.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(records)
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the records as the `BENCH_results.json` document (stable field
+/// order, sorted by name upstream in [`parse_log`]).
+pub fn render_json(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_iter\": {:.3}",
+            escape_json(&r.name),
+            r.ns_per_iter
+        ));
+        if let Some(bps) = r.bytes_per_sec {
+            out.push_str(&format!(", \"bytes_per_sec\": {bps:.3}"));
+        }
+        if let Some(eps) = r.elements_per_sec {
+            out.push_str(&format!(", \"elements_per_sec\": {eps:.3}"));
+        }
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_sorts_valid_log() {
+        let log = "b/two\t200.5\t-\t50.25\n\na/one\t100.123\t1048576.5\t-\n";
+        let records = parse_log(log).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "a/one");
+        assert_eq!(records[0].bytes_per_sec, Some(1048576.5));
+        assert_eq!(records[0].elements_per_sec, None);
+        assert_eq!(records[1].name, "b/two");
+        assert_eq!(records[1].elements_per_sec, Some(50.25));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_log("").is_err());
+        assert!(parse_log("only three\tfields\there\n").is_err());
+        assert!(parse_log("name\tnot_a_number\t-\t-\n").is_err());
+        assert!(parse_log("name\t-5.0\t-\t-\n").is_err());
+        assert!(parse_log("name\t10.0\tNaN\t-\n").is_err());
+        assert!(parse_log("\t10.0\t-\t-\n").is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_names_from_stale_appended_logs() {
+        let twice = "a/one\t100.0\t-\t-\na/one\t120.0\t-\t-\n";
+        let err = parse_log(twice).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn renders_machine_readable_json() {
+        let records = parse_log("g/f/64\t1500.0\t42666666.667\t-\n").unwrap();
+        let json = render_json(&records);
+        assert!(json.contains("\"name\": \"g/f/64\""));
+        assert!(json.contains("\"ns_per_iter\": 1500.000"));
+        assert!(json.contains("\"bytes_per_sec\": 42666666.667"));
+        assert!(!json.contains("elements_per_sec"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_exotic_names() {
+        let records = vec![BenchRecord {
+            name: "weird\"name\\with\tcontrol".to_string(),
+            ns_per_iter: 1.0,
+            bytes_per_sec: None,
+            elements_per_sec: None,
+        }];
+        let json = render_json(&records);
+        assert!(json.contains("weird\\\"name\\\\with\\u0009control"));
+    }
+}

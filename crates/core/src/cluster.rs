@@ -17,7 +17,7 @@ use simnet::NodeId;
 use crate::coordinator::SelectionPolicy;
 use crate::exec::{self, ExecStrategy};
 use crate::store::{BlockStore, MemoryStore};
-use crate::transport::Transport;
+use crate::transport::{ChannelTransport, Transport};
 use crate::{Coordinator, EcPipeError, Result};
 
 /// A cluster of storage nodes.
@@ -143,6 +143,10 @@ impl Cluster {
     /// Repairs one failed block of a stripe at `requestor` using the given
     /// execution strategy, writes the repaired block into the requestor's
     /// store, and returns its content.
+    ///
+    /// Slices move over a fresh in-process [`ChannelTransport`]; use
+    /// [`Cluster::repair_over`] to run the same repair over another backend
+    /// (e.g. TCP sockets).
     pub fn repair(
         &self,
         coordinator: &mut Coordinator,
@@ -151,6 +155,28 @@ impl Cluster {
         requestor: NodeId,
         strategy: ExecStrategy,
     ) -> Result<Vec<u8>> {
+        self.repair_over(
+            coordinator,
+            stripe,
+            failed,
+            requestor,
+            strategy,
+            &ChannelTransport::new(),
+        )
+    }
+
+    /// Repairs one failed block over an explicit transport backend, writes
+    /// the repaired block into the requestor's store, and returns its
+    /// content.
+    pub fn repair_over<T: Transport + ?Sized>(
+        &self,
+        coordinator: &mut Coordinator,
+        stripe: StripeId,
+        failed: usize,
+        requestor: NodeId,
+        strategy: ExecStrategy,
+        transport: &T,
+    ) -> Result<Vec<u8>> {
         let directive = coordinator.plan_single_repair(
             stripe,
             failed,
@@ -158,8 +184,7 @@ impl Cluster {
             &[],
             SelectionPolicy::CodeDefault,
         )?;
-        let transport = Transport::new();
-        let repaired = exec::execute_single(&directive, self, &transport, strategy)?;
+        let repaired = exec::execute_single(&directive, self, transport, strategy)?;
         self.stores[requestor].put(
             BlockId {
                 stripe,

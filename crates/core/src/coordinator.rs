@@ -89,6 +89,15 @@ impl RepairDirective {
     pub fn helper_nodes(&self) -> Vec<NodeId> {
         self.path.iter().map(|e| e.0).collect()
     }
+
+    /// The repair-job tag stamped on every
+    /// [`SliceMsg`](crate::transport::SliceMsg) and carried in TCP wire
+    /// frames: the failed block index (the stripe id travels alongside it).
+    /// The tags are observability metadata — frame routing itself is by
+    /// link id.
+    pub fn repair_id(&self) -> u64 {
+        self.plan.failed as u64
+    }
 }
 
 /// A multi-block repair directive (§4.4): shared helpers, one coefficient row
@@ -105,6 +114,16 @@ pub struct MultiRepairDirective {
     pub requestors: Vec<NodeId>,
     /// Block/slice layout.
     pub layout: SliceLayout,
+}
+
+impl MultiRepairDirective {
+    /// The repair-job tag for wire frames (see
+    /// [`RepairDirective::repair_id`]): the lowest failed index stands in
+    /// for the whole batch. Not unique across overlapping failure sets —
+    /// it labels traffic for observability, it does not route it.
+    pub fn repair_id(&self) -> u64 {
+        self.plan.failed.first().map(|&f| f as u64).unwrap_or(0)
+    }
 }
 
 /// The ECPipe coordinator.

@@ -67,3 +67,17 @@ impl From<std::io::Error> for EcPipeError {
         EcPipeError::Io(e)
     }
 }
+
+impl From<crate::transport::TransportError> for EcPipeError {
+    fn from(e: crate::transport::TransportError) -> Self {
+        use crate::transport::TransportError;
+        match e {
+            // A vanished peer means a helper or requestor died mid-repair;
+            // the repair must fail loudly rather than silently truncate.
+            TransportError::Disconnected => EcPipeError::Execution {
+                reason: "peer end of a transport link is gone".to_string(),
+            },
+            TransportError::Io(e) => EcPipeError::Io(e),
+        }
+    }
+}

@@ -13,9 +13,14 @@
 //! * [`ExecStrategy::BlockPipeline`] — the `Pipe-B` baseline of §6.4: the
 //!   same path but at whole-block granularity.
 //!
-//! Timing comparisons between the strategies are run on the `simnet`
-//! simulator (the in-process channels here have no bandwidth limits); these
-//! executors establish correctness and feed the throughput microbenches.
+//! The executors are generic over the [`Transport`] trait: the same
+//! strategies run over in-process channels
+//! ([`ChannelTransport`](crate::transport::ChannelTransport), no bandwidth
+//! limits, used for correctness tests and throughput microbenches) or real
+//! localhost sockets ([`TcpTransport`](crate::transport::TcpTransport),
+//! optionally throttled so the §3.2 timing claims can be measured on the
+//! wire). Timing-shape experiments at scale still run on the `simnet`
+//! simulator.
 
 use bytes::Bytes;
 use gf256::Gf256;
@@ -28,7 +33,9 @@ use crate::transport::{SliceMsg, Transport};
 use crate::{EcPipeError, Result};
 
 /// The number of slices that may be buffered between two pipeline stages.
-const PIPELINE_DEPTH: usize = 8;
+/// Senders block (backpressure) once this many slices are in flight on one
+/// link.
+pub const PIPELINE_DEPTH: usize = 8;
 
 /// How a single-block repair is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,10 +69,10 @@ fn execution_error(reason: impl Into<String>) -> EcPipeError {
 }
 
 /// Executes a single-block repair and returns the reconstructed block.
-pub fn execute_single(
+pub fn execute_single<T: Transport + ?Sized>(
     directive: &RepairDirective,
     cluster: &Cluster,
-    transport: &Transport,
+    transport: &T,
     strategy: ExecStrategy,
 ) -> Result<Vec<u8>> {
     // Pre-flight: every helper block must still be present. A block that
@@ -91,10 +98,10 @@ pub fn execute_single(
 }
 
 /// Slice-level (or block-level) pipelining along the helper path.
-fn run_pipeline(
+fn run_pipeline<T: Transport + ?Sized>(
     directive: &RepairDirective,
     cluster: &Cluster,
-    transport: &Transport,
+    transport: &T,
     layout: SliceLayout,
 ) -> Result<Vec<u8>> {
     let slices = layout.slice_count();
@@ -102,6 +109,7 @@ fn run_pipeline(
     if path.is_empty() {
         return Err(execution_error("repair path has no helpers"));
     }
+    let (stripe, repair) = (directive.stripe.0, directive.repair_id());
 
     std::thread::scope(|scope| -> Result<Vec<u8>> {
         let mut handles = Vec::new();
@@ -126,12 +134,7 @@ fn run_pipeline(
                             .ok_or_else(|| execution_error("upstream helper stopped early"))?;
                         gf256::add_slice(&msg.data, &mut partial);
                     }
-                    if !tx.send(SliceMsg {
-                        index: j,
-                        data: Bytes::from(partial),
-                    }) {
-                        return Err(execution_error("downstream stage stopped early"));
-                    }
+                    tx.send(SliceMsg::new(j, Bytes::from(partial)).tagged(stripe, repair))?;
                 }
                 Ok(())
             }));
@@ -152,13 +155,14 @@ fn run_pipeline(
 }
 
 /// Conventional repair: the requestor pulls every helper block and decodes.
-fn run_conventional(
+fn run_conventional<T: Transport + ?Sized>(
     directive: &RepairDirective,
     cluster: &Cluster,
-    transport: &Transport,
+    transport: &T,
 ) -> Result<Vec<u8>> {
     let layout = directive.layout;
     let slices = layout.slice_count();
+    let (stripe, repair) = (directive.stripe.0, directive.repair_id());
 
     std::thread::scope(|scope| -> Result<Vec<u8>> {
         let mut handles = Vec::new();
@@ -170,12 +174,7 @@ fn run_conventional(
             handles.push(scope.spawn(move || -> Result<()> {
                 for j in 0..slices {
                     let local = store.get_range(block, layout.slice_range(j))?;
-                    if !tx.send(SliceMsg {
-                        index: j,
-                        data: local,
-                    }) {
-                        return Err(execution_error("requestor stopped early"));
-                    }
+                    tx.send(SliceMsg::new(j, local).tagged(stripe, repair))?;
                 }
                 Ok(())
             }));
@@ -200,13 +199,14 @@ fn run_conventional(
 }
 
 /// Partial-parallel repair: pairwise aggregation along a binary tree.
-fn run_ppr(
+fn run_ppr<T: Transport + ?Sized>(
     directive: &RepairDirective,
     cluster: &Cluster,
-    transport: &Transport,
+    transport: &T,
 ) -> Result<Vec<u8>> {
     let layout = directive.layout;
     let slices = layout.slice_count();
+    let (stripe, repair) = (directive.stripe.0, directive.repair_id());
 
     // Initial partials: every helper scales its local block by its
     // coefficient (in parallel).
@@ -259,12 +259,8 @@ fn run_ppr(
                     let send_handle = scope.spawn(move || -> Result<()> {
                         for j in 0..slices {
                             let range = layout.slice_range(j);
-                            if !tx.send(SliceMsg {
-                                index: j,
-                                data: Bytes::copy_from_slice(&sender_partial[range]),
-                            }) {
-                                return Err(execution_error("receiver stopped early"));
-                            }
+                            let data = Bytes::copy_from_slice(&sender_partial[range]);
+                            tx.send(SliceMsg::new(j, data).tagged(stripe, repair))?;
                         }
                         Ok(())
                     });
@@ -309,13 +305,14 @@ fn run_ppr(
 /// Executes a multi-block repair (§4.4): each helper reads its block once and
 /// forwards a bundle of `f` partial slices per offset; the last helper
 /// delivers each reconstructed slice to its requestor.
-pub fn execute_multi(
+pub fn execute_multi<T: Transport + ?Sized>(
     directive: &MultiRepairDirective,
     cluster: &Cluster,
-    transport: &Transport,
+    transport: &T,
 ) -> Result<Vec<Vec<u8>>> {
     let layout = directive.layout;
     let slices = layout.slice_count();
+    let (stripe, repair) = (directive.stripe.0, directive.repair_id());
     let f = directive.plan.failure_count();
     let path = &directive.path;
     if path.is_empty() {
@@ -381,21 +378,11 @@ pub fn execute_multi(
                         );
                     }
                     if let Some(tx) = &forward {
-                        if !tx.send(SliceMsg {
-                            index: j,
-                            data: Bytes::from(bundle),
-                        }) {
-                            return Err(execution_error("downstream stage stopped early"));
-                        }
+                        tx.send(SliceMsg::new(j, Bytes::from(bundle)).tagged(stripe, repair))?;
                     } else if let Some(delivery) = &delivery {
                         for (row, tx) in delivery.iter().enumerate() {
                             let slice = bundle[row * local.len()..(row + 1) * local.len()].to_vec();
-                            if !tx.send(SliceMsg {
-                                index: j,
-                                data: Bytes::from(slice),
-                            }) {
-                                return Err(execution_error("requestor stopped early"));
-                            }
+                            tx.send(SliceMsg::new(j, Bytes::from(slice)).tagged(stripe, repair))?;
                         }
                     }
                 }
@@ -430,6 +417,7 @@ fn join_all(handles: Vec<std::thread::ScopedJoinHandle<'_, Result<()>>>) -> Resu
 mod tests {
     use super::*;
     use crate::coordinator::SelectionPolicy;
+    use crate::transport::ChannelTransport;
     use crate::{Cluster, Coordinator};
     use ecc::stripe::StripeId;
     use ecc::{ErasureCode, Lrc, ReedSolomon};
@@ -502,7 +490,7 @@ mod tests {
         let directive = coordinator
             .plan_single_repair(stripe, 0, 15, &[], SelectionPolicy::CodeDefault)
             .unwrap();
-        let transport = Transport::new();
+        let transport = ChannelTransport::new();
         execute_single(
             &directive,
             &cluster,
@@ -524,7 +512,7 @@ mod tests {
         let directive = coordinator
             .plan_single_repair(stripe, 0, 15, &[], SelectionPolicy::CodeDefault)
             .unwrap();
-        let transport = Transport::new();
+        let transport = ChannelTransport::new();
         execute_single(&directive, &cluster, &transport, ExecStrategy::Conventional).unwrap();
         assert_eq!(transport.total_bytes(), 10 * BLOCK as u64);
         // Every link ends at the requestor.
@@ -542,7 +530,7 @@ mod tests {
             .plan_single_repair(stripe, 4, 17, &[], SelectionPolicy::CodeDefault)
             .unwrap();
         assert_eq!(directive.path.len(), 6);
-        let transport = Transport::new();
+        let transport = ChannelTransport::new();
         let repaired = execute_single(
             &directive,
             &cluster,
@@ -565,7 +553,7 @@ mod tests {
         let mut order = directive.helper_nodes();
         order.reverse();
         let directive = directive.with_path_order(&order);
-        let transport = Transport::new();
+        let transport = ChannelTransport::new();
         let repaired = execute_single(
             &directive,
             &cluster,
@@ -587,7 +575,7 @@ mod tests {
             .unwrap();
         let helper_index = directive.plan.sources[0].block_index;
         cluster.erase_block(stripe, helper_index);
-        let transport = Transport::new();
+        let transport = ChannelTransport::new();
         let result = execute_single(
             &directive,
             &cluster,
@@ -609,7 +597,7 @@ mod tests {
         let directive = coordinator
             .plan_multi_repair(stripe, &failed, &[14, 15, 14])
             .unwrap();
-        let transport = Transport::new();
+        let transport = ChannelTransport::new();
         let repaired = execute_multi(&directive, &cluster, &transport).unwrap();
         for (j, &f) in directive.plan.failed.iter().enumerate() {
             assert_eq!(repaired[j], coded[f], "failed block {f}");

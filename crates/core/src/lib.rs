@@ -13,14 +13,17 @@
 //! * a requestor receives the repaired block.
 //!
 //! The [`exec`] module executes a directive for real: worker threads play the
-//! helper roles, slices flow through bounded crossbeam channels (standing in
-//! for the paper's Redis transport), and the GF(2^8) combination is performed
-//! on actual bytes, so tests can compare the reconstructed block against the
-//! erased one. Execution strategies cover conventional repair, PPR, repair
-//! pipelining (slice level), block-level pipelining (`Pipe-B`) and the
-//! multi-block repair of §4.4. Timing-shape experiments (who wins, by how
-//! much, under which bandwidth) are run on the `simnet` simulator; this
-//! runtime demonstrates the data path and provides throughput microbenches.
+//! helper roles, slices flow through a pluggable [`transport::Transport`] —
+//! bounded in-process channels ([`ChannelTransport`]) or real localhost TCP
+//! sockets ([`TcpTransport`], standing in for the paper's Redis/TCP data
+//! plane) — and the GF(2^8) combination is performed on actual bytes, so
+//! tests can compare the reconstructed block against the erased one.
+//! Execution strategies cover conventional repair, PPR, repair pipelining
+//! (slice level), block-level pipelining (`Pipe-B`) and the multi-block
+//! repair of §4.4. Timing-shape experiments (who wins, by how much, under
+//! which bandwidth) are run on the `simnet` simulator or, with
+//! [`TcpTransport::with_rate_limit`], on throttled sockets; this runtime
+//! demonstrates the data path and provides throughput microbenches.
 //!
 //! # Examples
 //!
@@ -64,6 +67,7 @@ pub use coordinator::{
 pub use error::EcPipeError;
 pub use exec::ExecStrategy;
 pub use store::{BlockStore, FileStore, MemoryStore};
+pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, EcPipeError>;

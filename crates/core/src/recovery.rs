@@ -19,7 +19,7 @@ use simnet::NodeId;
 use crate::cluster::Cluster;
 use crate::coordinator::SelectionPolicy;
 use crate::exec::{self, ExecStrategy};
-use crate::transport::Transport;
+use crate::transport::{ChannelTransport, Transport};
 use crate::{Coordinator, EcPipeError, Result};
 
 /// The outcome of a full-node recovery.
@@ -36,13 +36,35 @@ pub struct RecoveryReport {
 }
 
 /// Recovers every block that was stored on `failed_node`, writing each
-/// reconstructed block to one of `requestors` (round-robin).
+/// reconstructed block to one of `requestors` (round-robin). Slices move
+/// over a fresh in-process [`ChannelTransport`]; use
+/// [`full_node_recovery_over`] to recover over another backend.
 pub fn full_node_recovery(
     coordinator: &mut Coordinator,
     cluster: &Cluster,
     failed_node: NodeId,
     requestors: &[NodeId],
     strategy: ExecStrategy,
+) -> Result<RecoveryReport> {
+    full_node_recovery_over(
+        coordinator,
+        cluster,
+        failed_node,
+        requestors,
+        strategy,
+        &ChannelTransport::new(),
+    )
+}
+
+/// [`full_node_recovery`] over an explicit transport backend; the report's
+/// `network_bytes` counts only the traffic this recovery put on it.
+pub fn full_node_recovery_over<T: Transport + ?Sized>(
+    coordinator: &mut Coordinator,
+    cluster: &Cluster,
+    failed_node: NodeId,
+    requestors: &[NodeId],
+    strategy: ExecStrategy,
+    transport: &T,
 ) -> Result<RecoveryReport> {
     if requestors.is_empty() {
         return Err(EcPipeError::InvalidRequest {
@@ -55,7 +77,7 @@ pub fn full_node_recovery(
         });
     }
     let affected = coordinator.stripes_on_node(failed_node);
-    let transport = Transport::new();
+    let baseline_bytes = transport.total_bytes();
     let mut report = RecoveryReport::default();
     for (i, (stripe, failed_index)) in affected.into_iter().enumerate() {
         let requestor = requestors[i % requestors.len()];
@@ -66,7 +88,7 @@ pub fn full_node_recovery(
             &[],
             SelectionPolicy::LeastRecentlyUsed,
         )?;
-        let repaired = exec::execute_single(&directive, cluster, &transport, strategy)?;
+        let repaired = exec::execute_single(&directive, cluster, transport, strategy)?;
         cluster.store(requestor).put(
             BlockId {
                 stripe,
@@ -78,7 +100,7 @@ pub fn full_node_recovery(
         report.bytes_repaired += repaired.len();
         *report.per_requestor.entry(requestor).or_default() += 1;
     }
-    report.network_bytes = transport.total_bytes();
+    report.network_bytes = transport.total_bytes() - baseline_bytes;
     Ok(report)
 }
 
@@ -96,8 +118,31 @@ pub fn degraded_read_with_retry(
     strategy: ExecStrategy,
     max_retries: usize,
 ) -> Result<Vec<u8>> {
+    degraded_read_with_retry_over(
+        coordinator,
+        cluster,
+        stripe,
+        failed,
+        requestor,
+        strategy,
+        max_retries,
+        &ChannelTransport::new(),
+    )
+}
+
+/// [`degraded_read_with_retry`] over an explicit transport backend.
+#[allow(clippy::too_many_arguments)]
+pub fn degraded_read_with_retry_over<T: Transport + ?Sized>(
+    coordinator: &mut Coordinator,
+    cluster: &Cluster,
+    stripe: ecc::stripe::StripeId,
+    failed: usize,
+    requestor: NodeId,
+    strategy: ExecStrategy,
+    max_retries: usize,
+    transport: &T,
+) -> Result<Vec<u8>> {
     let mut excluded: Vec<usize> = Vec::new();
-    let transport = Transport::new();
     for _attempt in 0..=max_retries {
         let directive = coordinator.plan_single_repair(
             stripe,
@@ -106,7 +151,7 @@ pub fn degraded_read_with_retry(
             &excluded,
             SelectionPolicy::CodeDefault,
         )?;
-        match exec::execute_single(&directive, cluster, &transport, strategy) {
+        match exec::execute_single(&directive, cluster, transport, strategy) {
             Ok(block) => return Ok(block),
             Err(EcPipeError::BlockNotFound { block }) if block.stripe == stripe => {
                 // A helper lost its block mid-repair; exclude it and restart

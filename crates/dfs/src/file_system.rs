@@ -251,7 +251,7 @@ impl SimulatedDfs {
             &[],
             ecpipe::SelectionPolicy::CodeDefault,
         )?;
-        let transport = ecpipe::transport::Transport::new();
+        let transport = ecpipe::transport::ChannelTransport::new();
         ecpipe::exec::execute_single(&directive, &self.cluster, &transport, strategy)
     }
 

@@ -19,7 +19,7 @@
 //! repair pipelining all rely on.
 //!
 //! The crate also provides the block/slice partitioning model of Figure 1 and
-//! §3.2 ([`slice`] module): blocks are split into `s` fixed-size slices and a
+//! §3.2 ([`mod@slice`] module): blocks are split into `s` fixed-size slices and a
 //! repair is pipelined slice by slice.
 
 #![forbid(unsafe_code)]

@@ -7,6 +7,16 @@
 //! byte throughput is set). No statistical analysis, HTML reports or
 //! comparison against saved baselines. Swap the path dependency for the
 //! real crate when a registry is available.
+//!
+//! Two environment variables drive the CI benchmark pipeline:
+//!
+//! * `BENCH_SMOKE=1` — smoke mode: at most 3 samples and a ~60 ms
+//!   measurement window per benchmark, for a quick went-it-run gate rather
+//!   than a statistically sound measurement.
+//! * `BENCH_RESULTS_LOG=<path>` — append one tab-separated record per
+//!   benchmark: `name`, `ns_per_iter`, `bytes_per_sec` (or `-`),
+//!   `elements_per_sec` (or `-`). The `bench_json` tool in `crates/bench`
+//!   turns the log into the `BENCH_results.json` artifact CI uploads.
 
 #![forbid(unsafe_code)]
 
@@ -195,13 +205,69 @@ impl Bencher {
     }
 }
 
+/// Whether `BENCH_SMOKE` asks for quick, statistically weak runs.
+fn smoke_mode() -> bool {
+    std::env::var("BENCH_SMOKE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Appends one record to the `BENCH_RESULTS_LOG` file, if configured.
+fn log_result(label: &str, median_secs: f64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("BENCH_RESULTS_LOG") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    append_record(std::path::Path::new(&path), label, median_secs, throughput);
+}
+
+/// Appends one tab-separated benchmark record to `path`.
+fn append_record(
+    path: &std::path::Path,
+    label: &str,
+    median_secs: f64,
+    throughput: Option<Throughput>,
+) {
+    let bytes_per_sec = match throughput {
+        Some(Throughput::Bytes(b)) => format!("{:.3}", b as f64 / median_secs),
+        _ => "-".to_string(),
+    };
+    let elements_per_sec = match throughput {
+        Some(Throughput::Elements(n)) => format!("{:.3}", n as f64 / median_secs),
+        _ => "-".to_string(),
+    };
+    let record = format!(
+        "{label}\t{:.3}\t{bytes_per_sec}\t{elements_per_sec}\n",
+        median_secs * 1e9
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, record.as_bytes()));
+    if let Err(e) = written {
+        // The CI pipeline fails on a missing/empty log, so surface the
+        // reason rather than dying mid-bench.
+        eprintln!(
+            "warning: could not append to BENCH_RESULTS_LOG {}: {e}",
+            path.display()
+        );
+    }
+}
+
 fn run_bench(
-    sample_size: usize,
-    measurement_time: Duration,
+    mut sample_size: usize,
+    mut measurement_time: Duration,
     throughput: Option<Throughput>,
     label: &str,
     mut f: impl FnMut(&mut Bencher),
 ) {
+    if smoke_mode() {
+        sample_size = sample_size.min(3);
+        measurement_time = measurement_time.min(Duration::from_millis(60));
+    }
     // Calibration pass: one iteration, to size the real runs.
     let mut bencher = Bencher {
         iters: 1,
@@ -235,6 +301,7 @@ fn run_bench(
         None => String::new(),
     };
     eprintln!("  {label}: {}{rate}", format_time(median));
+    log_result(label, median, throughput);
 }
 
 fn format_time(secs: f64) -> String {
@@ -293,5 +360,33 @@ mod tests {
         });
         group.bench_function("noop", |b| b.iter(|| 1 + 1));
         group.finish();
+    }
+
+    // Calls append_record directly rather than mutating BENCH_RESULTS_LOG:
+    // set_var racing getenv from concurrently running tests is UB on glibc.
+    #[test]
+    fn results_log_records_are_well_formed() {
+        let path = std::env::temp_dir().join(format!("bench_log_{}.tsv", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        append_record(
+            &path,
+            "logged/work",
+            0.000125,
+            Some(Throughput::Bytes(4096)),
+        );
+        append_record(&path, "logged/untimed", 0.25, None);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("logged/work\t"))
+            .expect("record for logged/work");
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 4);
+        assert_eq!(fields[1], "125000.000");
+        assert_eq!(fields[2], "32768000.000");
+        assert_eq!(fields[3], "-");
+        assert!(text.contains("logged/untimed\t250000000.000\t-\t-\n"));
     }
 }

@@ -8,7 +8,7 @@ use repair_pipelining::dfs::{RepairPath, SimulatedDfs, SystemProfile};
 use repair_pipelining::ecc::slice::SliceLayout;
 use repair_pipelining::ecc::{CodeError, ErasureCode, Lrc, ReedSolomon};
 use repair_pipelining::ecpipe::exec::{execute_multi, ExecStrategy};
-use repair_pipelining::ecpipe::transport::Transport;
+use repair_pipelining::ecpipe::transport::ChannelTransport;
 use repair_pipelining::ecpipe::{Cluster, Coordinator};
 use repair_pipelining::gf256::Matrix;
 use repair_pipelining::repair::weighted_path::{optimal_path, WeightMatrix};
@@ -215,7 +215,7 @@ fn multi_repair_of_all_parity_blocks() {
     let directive = coordinator
         .plan_multi_repair(stripe, &failed, &[16, 17, 18, 19])
         .unwrap();
-    let transport = Transport::new();
+    let transport = ChannelTransport::new();
     let repaired = execute_multi(&directive, &cluster, &transport).unwrap();
     for (j, &f) in directive.plan.failed.iter().enumerate() {
         assert_eq!(repaired[j], coded[f], "parity block {f}");

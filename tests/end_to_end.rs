@@ -8,7 +8,7 @@ use repair_pipelining::ecc::slice::SliceLayout;
 use repair_pipelining::ecc::{ErasureCode, Lrc, ReedSolomon};
 use repair_pipelining::ecpipe::exec::{execute_multi, execute_single, ExecStrategy};
 use repair_pipelining::ecpipe::recovery::full_node_recovery;
-use repair_pipelining::ecpipe::transport::Transport;
+use repair_pipelining::ecpipe::transport::{ChannelTransport, Transport};
 use repair_pipelining::ecpipe::{Cluster, Coordinator, SelectionPolicy};
 
 const BLOCK: usize = 64 * 1024;
@@ -79,7 +79,7 @@ fn multi_block_repair_end_to_end() {
     let directive = coordinator
         .plan_multi_repair(stripe, &failed, &[16, 17, 18, 19])
         .unwrap();
-    let transport = Transport::new();
+    let transport = ChannelTransport::new();
     let repaired = execute_multi(&directive, &cluster, &transport).unwrap();
     for (j, &f) in directive.plan.failed.iter().enumerate() {
         assert_eq!(repaired[j], coded[f], "failed block {f}");
@@ -152,7 +152,7 @@ fn plan_runtime_agreement() {
     let blocks: Vec<Option<Vec<u8>>> = coded.iter().cloned().map(Some).collect();
     let algebraic = directive.plan.evaluate(&blocks);
 
-    let transport = Transport::new();
+    let transport = ChannelTransport::new();
     let runtime = execute_single(
         &directive,
         &cluster,

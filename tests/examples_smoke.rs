@@ -39,3 +39,8 @@ fn full_node_recovery_runs() {
 fn geo_repair_runs() {
     run_example("geo_repair");
 }
+
+#[test]
+fn tcp_repair_runs() {
+    run_example("tcp_repair");
+}
