@@ -1,0 +1,109 @@
+//! Criterion bench for full-node recovery through the ECPipe runtime:
+//! sequential `full_node_recovery_over` versus the repair manager's
+//! 4-worker pool, on rate-limited links of both transport backends.
+//!
+//! Every link is token-bucket throttled so the repairs are network-bound
+//! (the paper's testbed setting); the manager's concurrency then shows up
+//! as recovery throughput rather than being hidden behind CPU time. The
+//! `bytes_per_sec` column of `BENCH_results.json` is the recovery rate.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ecc::slice::SliceLayout;
+use ecc::ReedSolomon;
+use ecpipe::manager::{recover_node, ManagerConfig};
+use ecpipe::recovery::full_node_recovery_over;
+use ecpipe::transport::{ChannelTransport, TcpTransport, Transport};
+use ecpipe::{Cluster, Coordinator, ExecStrategy};
+
+const BLOCK: usize = 64 * 1024;
+const SLICE: usize = 8 * 1024;
+const STORAGE_NODES: usize = 12;
+const STRIPES: u64 = 24;
+const FAILED_NODE: usize = 2;
+/// The failed node holds one block of half the stripes.
+const LOST_BLOCKS: usize = 12;
+const REQUESTORS: [usize; 2] = [12, 13];
+const LINK_RATE: u64 = 4 * 1024 * 1024;
+
+fn setup() -> (Coordinator, Cluster) {
+    let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
+    let mut coordinator = Coordinator::new(code, SliceLayout::new(BLOCK, SLICE));
+    let mut cluster = Cluster::in_memory(STORAGE_NODES + 2);
+    for s in 0..STRIPES {
+        let data: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                (0..BLOCK)
+                    .map(|b| ((b as u64 * 31 + i as u64 * 7 + s * 13) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+        let placement: Vec<usize> = (0..6).map(|i| (s as usize + i) % STORAGE_NODES).collect();
+        cluster
+            .write_stripe_with_placement(&mut coordinator, s, &data, placement)
+            .unwrap();
+    }
+    cluster.kill_node(FAILED_NODE);
+    (coordinator, cluster)
+}
+
+fn bench_backend<T: Transport>(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    make: impl Fn() -> T,
+) {
+    let transport = make();
+    let (mut coordinator, cluster) = setup();
+    group.bench_function(BenchmarkId::new("full_node_sequential", label), |b| {
+        b.iter(|| {
+            full_node_recovery_over(
+                &mut coordinator,
+                &cluster,
+                FAILED_NODE,
+                &REQUESTORS,
+                ExecStrategy::RepairPipelining,
+                &transport,
+            )
+            .unwrap()
+        });
+    });
+
+    let transport = make();
+    let (mut coordinator, cluster) = setup();
+    let config = ManagerConfig::default()
+        .with_workers(4)
+        .with_inflight_cap(3);
+    group.bench_function(BenchmarkId::new("full_node_manager_4w", label), |b| {
+        b.iter(|| {
+            recover_node(
+                &mut coordinator,
+                &cluster,
+                &transport,
+                FAILED_NODE,
+                &REQUESTORS,
+                &config,
+            )
+            .unwrap()
+        });
+    });
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_recovery");
+    group.throughput(Throughput::Bytes((LOST_BLOCKS * BLOCK) as u64));
+    bench_backend(&mut group, "channel", || {
+        ChannelTransport::with_rate_limit(LINK_RATE)
+    });
+    bench_backend(&mut group, "tcp", || {
+        TcpTransport::with_rate_limit(LINK_RATE)
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_recovery
+}
+criterion_main!(benches);

@@ -110,7 +110,8 @@ fn fig11b_recovery_implementations() {
                 } else {
                     HelperSelection::LowestIndex
                 },
-            );
+            )
+            .expect("figure scenario always has enough helpers");
             let schedule = if slice_level {
                 fullnode::build_recovery_schedule(&jobs, rp::schedule)
             } else {

@@ -182,7 +182,8 @@ fn fig8e_full_node_recovery() {
         let requestors: Vec<usize> = (20..20 + requestor_count).collect();
         let rate = |selection: HelperSelection,
                     scheme: fn(&SingleRepairJob) -> simnet::Schedule| {
-            let jobs = fullnode::plan_recovery(&stripes, 10, &requestors, layout, selection);
+            let jobs = fullnode::plan_recovery(&stripes, 10, &requestors, layout, selection)
+                .expect("figure scenario always has enough helpers");
             let schedule = fullnode::build_recovery_schedule(&jobs, scheme);
             let report = sim_big.run(&schedule);
             fullnode::recovery_rate(&jobs, report.makespan) / MIB as f64

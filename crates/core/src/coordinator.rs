@@ -202,6 +202,38 @@ impl Coordinator {
         affected
     }
 
+    /// Records that a block now lives on `node` (e.g. after the repair
+    /// manager reconstructed it onto a requestor), so later repair plans for
+    /// the stripe treat that copy as available again.
+    ///
+    /// Returns `Ok(false)` — leaving the mapping unchanged — when `node`
+    /// already holds another block of the stripe: a stripe's blocks must
+    /// stay on distinct nodes (the same invariant the write path enforces),
+    /// and the stored copy remains readable from the node's store either
+    /// way. The caller is responsible for the block actually being present
+    /// in `node`'s store; the coordinator only tracks metadata.
+    pub fn relocate_block(&mut self, stripe: StripeId, index: usize, node: NodeId) -> Result<bool> {
+        let meta = self
+            .stripes
+            .get_mut(&stripe.0)
+            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?;
+        if index >= meta.locations.len() {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!("block index {index} out of range"),
+            });
+        }
+        if meta
+            .locations
+            .iter()
+            .enumerate()
+            .any(|(i, &n)| i != index && n == node)
+        {
+            return Ok(false);
+        }
+        meta.locations[index] = node;
+        Ok(true)
+    }
+
     /// Plans a single-block repair: the failed block of `stripe` is
     /// reconstructed at `requestor`.
     ///
@@ -336,6 +368,23 @@ mod tests {
         assert_eq!(c.stripe(StripeId(2)).unwrap().node_of(0), 5);
         assert!(c.stripe(StripeId(9)).is_err());
         assert_eq!(c.stripes().len(), 2);
+    }
+
+    #[test]
+    fn relocate_block_updates_metadata() {
+        let mut c = coordinator();
+        c.register_stripe(StripeId(1), vec![0, 1, 2, 3, 4, 5]);
+        assert!(c.relocate_block(StripeId(1), 2, 9).unwrap());
+        assert_eq!(c.stripe(StripeId(1)).unwrap().node_of(2), 9);
+        assert_eq!(c.stripes_on_node(9), vec![(StripeId(1), 2)]);
+        assert!(c.relocate_block(StripeId(7), 0, 9).is_err());
+        assert!(c.relocate_block(StripeId(1), 6, 9).is_err());
+        // Relocating a second block of the stripe onto node 9 would break
+        // the distinct-nodes invariant: refused, mapping unchanged.
+        assert!(!c.relocate_block(StripeId(1), 4, 9).unwrap());
+        assert_eq!(c.stripe(StripeId(1)).unwrap().node_of(4), 4);
+        // Re-relocating the same block to the same node is a no-op success.
+        assert!(c.relocate_block(StripeId(1), 2, 9).unwrap());
     }
 
     #[test]

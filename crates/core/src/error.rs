@@ -31,6 +31,9 @@ pub enum EcPipeError {
         /// Human-readable explanation.
         reason: String,
     },
+    /// The repair manager is shut down (or shutting down) and no longer
+    /// accepts work.
+    ManagerShutdown,
 }
 
 impl fmt::Display for EcPipeError {
@@ -42,6 +45,9 @@ impl fmt::Display for EcPipeError {
             EcPipeError::Io(e) => write!(f, "block store I/O error: {e}"),
             EcPipeError::Execution { reason } => write!(f, "repair execution failed: {reason}"),
             EcPipeError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            EcPipeError::ManagerShutdown => {
+                write!(f, "the repair manager is shut down and accepts no new work")
+            }
         }
     }
 }

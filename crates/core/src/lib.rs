@@ -25,6 +25,15 @@
 //! [`TcpTransport::with_rate_limit`], on throttled sockets; this runtime
 //! demonstrates the data path and provides throughput microbenches.
 //!
+//! On top of the executors sits the [`manager`] subsystem: a prioritized
+//! repair queue (degraded reads preempt background recovery), a bounded
+//! worker pool that runs many single-stripe repairs concurrently, per-node
+//! in-flight admission caps enforcing the §3.3 scheduling at runtime, a
+//! liveness view fed by repair outcomes (a node that keeps failing its
+//! helper reads is declared dead and its stripes auto-enqueued), and a
+//! structured [`ManagerReport`]. [`recovery::full_node_recovery_over`] is a
+//! thin sequential wrapper over the same engine.
+//!
 //! # Examples
 //!
 //! ```
@@ -56,6 +65,7 @@ mod cluster;
 mod coordinator;
 mod error;
 pub mod exec;
+pub mod manager;
 pub mod recovery;
 mod store;
 pub mod transport;
@@ -66,6 +76,9 @@ pub use coordinator::{
 };
 pub use error::EcPipeError;
 pub use exec::ExecStrategy;
+pub use manager::{
+    ManagerConfig, ManagerReport, NodeHealth, RepairManager, RepairPriority, RepairRequest,
+};
 pub use store::{BlockStore, FileStore, MemoryStore};
 pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};
 

@@ -1,0 +1,304 @@
+//! Structured reporting for the repair manager.
+//!
+//! Workers feed a shared [`MetricsCollector`]; [`ManagerReport`] is the
+//! snapshot handed back to callers: per-node load histogram (the §3.3
+//! balance the greedy scheduler is supposed to produce), per-node peak
+//! in-flight roles (proof the admission gate held), queue latencies per
+//! priority class, per-repair outcomes in completion order, elapsed wall
+//! time and network bytes.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use ecc::stripe::StripeId;
+use simnet::NodeId;
+
+use super::queue::RepairPriority;
+
+/// Aggregate waiting-time statistics for one priority class.
+#[derive(Debug, Clone, Default)]
+pub struct WaitStats {
+    /// Number of repairs in the class.
+    pub count: usize,
+    /// Sum of all queue waits.
+    pub total: Duration,
+    /// Longest single queue wait.
+    pub max: Duration,
+}
+
+impl WaitStats {
+    fn record(&mut self, wait: Duration) {
+        self.count += 1;
+        self.total += wait;
+        self.max = self.max.max(wait);
+    }
+
+    /// Mean queue wait (zero when the class is empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// The outcome of one repair the manager executed.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired stripe.
+    pub stripe: StripeId,
+    /// Index of the reconstructed block.
+    pub failed: usize,
+    /// Node the block was reconstructed onto.
+    pub requestor: NodeId,
+    /// Priority class the repair ran under.
+    pub priority: RepairPriority,
+    /// Time spent queued before a worker picked the repair up.
+    pub queue_wait: Duration,
+    /// Time from pickup to the block being stored (including re-plans).
+    pub duration: Duration,
+    /// How many times the repair was re-planned around a dead helper.
+    pub replans: usize,
+    /// Global pickup order (1-based): the i-th repair any worker started.
+    pub started_seq: usize,
+    /// Global completion order (1-based).
+    pub finished_seq: usize,
+}
+
+/// A repair the manager gave up on, so an operator can tell from the
+/// report which blocks are still missing.
+#[derive(Debug, Clone)]
+pub struct FailedRepair {
+    /// The stripe whose block is still unreconstructed.
+    pub stripe: StripeId,
+    /// Index of the block that could not be rebuilt.
+    pub failed: usize,
+    /// The requestor the repair was addressed to.
+    pub requestor: NodeId,
+    /// Priority class the repair ran under.
+    pub priority: RepairPriority,
+    /// Rendering of the error that ended the repair.
+    pub error: String,
+    /// Re-plans attempted before giving up.
+    pub replans: usize,
+}
+
+/// A structured report of everything a manager run did.
+#[derive(Debug, Clone, Default)]
+pub struct ManagerReport {
+    /// Number of blocks reconstructed.
+    pub blocks_repaired: usize,
+    /// Total bytes reconstructed.
+    pub bytes_repaired: usize,
+    /// Blocks reconstructed per requestor node.
+    pub per_requestor: HashMap<NodeId, usize>,
+    /// Bytes moved over the transport by this run.
+    pub network_bytes: u64,
+    /// Elapsed wall time of the run (first enqueue to last completion for
+    /// batches; start to shutdown for the daemon).
+    pub wall_time: Duration,
+    /// Per-node load histogram: how many repairs each node served a role in
+    /// (helper or requestor).
+    pub node_load: HashMap<NodeId, usize>,
+    /// Per-node peak of simultaneously held repair roles; never exceeds the
+    /// configured in-flight cap.
+    pub peak_inflight: HashMap<NodeId, usize>,
+    /// Queue-wait statistics for degraded reads.
+    pub degraded_wait: WaitStats,
+    /// Queue-wait statistics for background repairs.
+    pub background_wait: WaitStats,
+    /// Total re-plans across all repairs (helpers lost mid-flight).
+    pub replans: usize,
+    /// Repairs that failed even after re-planning (daemon mode only; the
+    /// batch engine aborts on the first failure instead).
+    pub failed_repairs: usize,
+    /// Per-repair outcomes, in completion order.
+    pub outcomes: Vec<RepairOutcome>,
+    /// The repairs behind `failed_repairs`, with the block identity and the
+    /// final error.
+    pub failures: Vec<FailedRepair>,
+}
+
+impl ManagerReport {
+    /// The highest number of repair roles any single node held at once.
+    pub fn max_inflight(&self) -> usize {
+        self.peak_inflight.values().copied().max().unwrap_or(0)
+    }
+
+    /// The heaviest per-node load (repairs served) in the histogram.
+    pub fn max_node_load(&self) -> usize {
+        self.node_load.values().copied().max().unwrap_or(0)
+    }
+}
+
+/// Shared, thread-safe accumulator behind a [`ManagerReport`].
+pub(crate) struct MetricsCollector {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    report: ManagerReport,
+    started: usize,
+    finished: usize,
+}
+
+impl MetricsCollector {
+    pub(crate) fn new() -> Self {
+        MetricsCollector {
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Assigns the next global pickup sequence number.
+    pub(crate) fn begin_repair(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        inner.started += 1;
+        inner.started
+    }
+
+    /// Updates a node's peak-in-flight high-water mark (called by the
+    /// admission gate with the node's new in-flight count).
+    pub(crate) fn record_inflight(&self, node: NodeId, current: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        let peak = inner.report.peak_inflight.entry(node).or_insert(0);
+        *peak = (*peak).max(current);
+    }
+
+    /// Records a successful repair.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record_success(
+        &self,
+        stripe: StripeId,
+        failed: usize,
+        requestor: NodeId,
+        priority: RepairPriority,
+        queue_wait: Duration,
+        duration: Duration,
+        replans: usize,
+        started_seq: usize,
+        bytes: usize,
+        role_nodes: &[NodeId],
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.finished += 1;
+        let finished_seq = inner.finished;
+        let report = &mut inner.report;
+        report.blocks_repaired += 1;
+        report.bytes_repaired += bytes;
+        *report.per_requestor.entry(requestor).or_default() += 1;
+        for &node in role_nodes {
+            *report.node_load.entry(node).or_default() += 1;
+        }
+        match priority {
+            RepairPriority::DegradedRead => report.degraded_wait.record(queue_wait),
+            RepairPriority::Background => report.background_wait.record(queue_wait),
+        }
+        report.replans += replans;
+        report.outcomes.push(RepairOutcome {
+            stripe,
+            failed,
+            requestor,
+            priority,
+            queue_wait,
+            duration,
+            replans,
+            started_seq,
+            finished_seq,
+        });
+    }
+
+    /// Records a repair the manager gave up on (daemon mode), keeping the
+    /// block identity so the report says what is still missing.
+    pub(crate) fn record_failure(&self, failure: FailedRepair) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.finished += 1;
+        inner.report.failed_repairs += 1;
+        inner.report.replans += failure.replans;
+        inner.report.failures.push(failure);
+    }
+
+    /// Snapshots the report, stamping wall time and network bytes.
+    pub(crate) fn report(&self, wall_time: Duration, network_bytes: u64) -> ManagerReport {
+        let inner = self.inner.lock().unwrap();
+        let mut report = inner.report.clone();
+        report.wall_time = wall_time;
+        report.network_bytes = network_bytes;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_accumulates_and_orders() {
+        let m = MetricsCollector::new();
+        let s1 = m.begin_repair();
+        let s2 = m.begin_repair();
+        assert_eq!((s1, s2), (1, 2));
+        m.record_inflight(4, 1);
+        m.record_inflight(4, 3);
+        m.record_inflight(4, 2);
+        m.record_success(
+            StripeId(0),
+            1,
+            9,
+            RepairPriority::Background,
+            Duration::from_millis(5),
+            Duration::from_millis(20),
+            1,
+            s1,
+            1024,
+            &[4, 5, 9],
+        );
+        m.record_success(
+            StripeId(1),
+            0,
+            8,
+            RepairPriority::DegradedRead,
+            Duration::from_millis(1),
+            Duration::from_millis(10),
+            0,
+            s2,
+            1024,
+            &[4, 6, 8],
+        );
+        m.record_failure(FailedRepair {
+            stripe: StripeId(2),
+            failed: 3,
+            requestor: 7,
+            priority: RepairPriority::Background,
+            error: "too many failures".to_string(),
+            replans: 2,
+        });
+        let report = m.report(Duration::from_millis(40), 4096);
+        assert_eq!(report.blocks_repaired, 2);
+        assert_eq!(report.bytes_repaired, 2048);
+        assert_eq!(report.replans, 3);
+        assert_eq!(report.failed_repairs, 1);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].stripe, StripeId(2));
+        assert_eq!(report.failures[0].failed, 3);
+        assert!(report.failures[0].error.contains("failures"));
+        assert_eq!(report.node_load[&4], 2);
+        assert_eq!(report.peak_inflight[&4], 3);
+        assert_eq!(report.max_inflight(), 3);
+        assert_eq!(report.max_node_load(), 2);
+        assert_eq!(report.degraded_wait.count, 1);
+        assert_eq!(report.background_wait.count, 1);
+        assert_eq!(report.background_wait.mean(), Duration::from_millis(5));
+        assert_eq!(report.outcomes[0].finished_seq, 1);
+        assert_eq!(report.outcomes[1].finished_seq, 2);
+        assert_eq!(report.network_bytes, 4096);
+        assert!(report.wall_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn wait_stats_mean_handles_empty() {
+        assert_eq!(WaitStats::default().mean(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,495 @@
+//! The repair manager: a concurrent, prioritized repair-orchestration
+//! subsystem.
+//!
+//! The paper's §3.3 full-node recovery repairs the stripes of a failed node
+//! *in parallel*, with greedy least-recently-used helper scheduling so that
+//! no popular helper becomes the straggler. This module is the runtime layer
+//! that actually does that, sitting between the planners (`repair::*`,
+//! [`Coordinator`]) and the executors ([`exec`](crate::exec)):
+//!
+//! * a prioritized repair queue — degraded reads
+//!   ([`RepairPriority::DegradedRead`]) preempt background full-node
+//!   recovery;
+//! * a bounded worker pool executing many single-stripe repairs
+//!   concurrently, generic over [`Transport`];
+//! * an admission gate enforcing per-node in-flight caps on top of the
+//!   coordinator's [`SelectionPolicy::LeastRecentlyUsed`](crate::SelectionPolicy)
+//!   helper choice, so no node serves more than a configured number of
+//!   simultaneous repair roles;
+//! * a [liveness view](NodeHealth) fed by repair outcomes — a helper that
+//!   fails mid-flight earns strikes, a node crossing the threshold is
+//!   declared dead and its remaining stripes are auto-enqueued — with
+//!   mid-flight re-planning around the lost block (generalizing
+//!   [`degraded_read_with_retry`](crate::recovery::degraded_read_with_retry));
+//! * a structured [`ManagerReport`]: per-node load histogram, peak
+//!   in-flight roles, queue latencies per priority class, per-repair
+//!   outcomes, wall time and network bytes.
+//!
+//! Two entry points share the same engine. [`run_batch`] executes a fixed
+//! set of requests to completion on scoped worker threads (this is what
+//! [`full_node_recovery_over`](crate::recovery::full_node_recovery_over)
+//! wraps — with one worker it preserves the sequential semantics exactly).
+//! [`RepairManager`] is the long-running daemon: it owns the coordinator,
+//! cluster and transport, accepts work while running, and reports on
+//! shutdown.
+
+mod liveness;
+mod metrics;
+mod queue;
+mod workers;
+
+pub use liveness::NodeHealth;
+pub use metrics::{FailedRepair, ManagerReport, RepairOutcome, WaitStats};
+pub use queue::{RepairPriority, RepairRequest};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use simnet::NodeId;
+
+use crate::cluster::Cluster;
+use crate::exec::ExecStrategy;
+use crate::transport::Transport;
+use crate::{Coordinator, EcPipeError, Result};
+
+use workers::{worker_loop, EngineState};
+
+/// Tuning knobs for the repair manager.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Worker threads executing repairs concurrently.
+    pub workers: usize,
+    /// Maximum simultaneous repair roles (helper or requestor) per node; the
+    /// admission gate blocks repairs that would exceed it. A cap of 1 with
+    /// one worker reproduces the sequential recovery loop.
+    pub per_node_inflight_cap: usize,
+    /// How many times one repair may be re-planned around a helper that died
+    /// mid-flight before giving up.
+    pub max_replans: usize,
+    /// Consecutive block misses after which a node is declared dead (and its
+    /// stripes auto-enqueued).
+    pub dead_after_misses: usize,
+    /// Execution strategy for every repair.
+    pub strategy: ExecStrategy,
+    /// Nodes already known to be dead when the engine starts; their blocks
+    /// are never selected as helpers.
+    pub known_dead: Vec<NodeId>,
+    /// Requestor pool (round-robin) for repairs the manager enqueues on its
+    /// own when a node dies. Empty disables auto-enqueueing.
+    pub auto_requestors: Vec<NodeId>,
+    /// Update the coordinator's block location after a successful repair, so
+    /// later plans treat the reconstructed copy as available. Off by
+    /// default, matching the historical recovery loop.
+    pub relocate_on_success: bool,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            workers: 4,
+            per_node_inflight_cap: 4,
+            max_replans: 2,
+            dead_after_misses: 2,
+            strategy: ExecStrategy::RepairPipelining,
+            known_dead: Vec::new(),
+            auto_requestors: Vec::new(),
+            relocate_on_success: false,
+        }
+    }
+}
+
+impl ManagerConfig {
+    /// The configuration that reproduces the historical sequential recovery
+    /// loop: one worker, no admission cap, no re-plans.
+    pub fn sequential(strategy: ExecStrategy) -> Self {
+        ManagerConfig {
+            workers: 1,
+            per_node_inflight_cap: usize::MAX,
+            max_replans: 0,
+            strategy,
+            ..ManagerConfig::default()
+        }
+    }
+
+    /// Sets the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the per-node in-flight cap.
+    pub fn with_inflight_cap(mut self, cap: usize) -> Self {
+        self.per_node_inflight_cap = cap;
+        self
+    }
+}
+
+/// Runs a fixed batch of repairs to completion on `config.workers` scoped
+/// worker threads and returns the combined report.
+///
+/// Duplicate requests for the same block are dropped. The batch is
+/// *fail-fast*: the first repair that fails (after its re-plans) aborts the
+/// run and is returned as the error; repairs already finished stay stored.
+pub fn run_batch<T: Transport + ?Sized>(
+    coordinator: &mut Coordinator,
+    cluster: &Cluster,
+    transport: &T,
+    config: &ManagerConfig,
+    requests: Vec<RepairRequest>,
+) -> Result<ManagerReport> {
+    let engine = EngineState::new(config, true);
+    for request in requests {
+        // The queue cannot be closed yet, so only duplicates are dropped.
+        let _ = engine.submit(request)?;
+    }
+    engine.queue.close();
+    let baseline_bytes = transport.total_bytes();
+    let started = Instant::now();
+    let coordinator = Mutex::new(coordinator);
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers.max(1) {
+            scope.spawn(|| worker_loop(&engine, &coordinator, cluster, transport, config));
+        }
+    });
+    if let Some(error) = engine.take_error() {
+        return Err(error);
+    }
+    Ok(engine
+        .metrics
+        .report(started.elapsed(), transport.total_bytes() - baseline_bytes))
+}
+
+/// Builds the background repair requests for recovering every block that
+/// `failed_node` held, spreading requestors round-robin (the §3.3 enqueue
+/// order: stripes sorted by id, one single-block repair each).
+pub fn node_recovery_requests(
+    coordinator: &Coordinator,
+    failed_node: NodeId,
+    requestors: &[NodeId],
+) -> Result<Vec<RepairRequest>> {
+    if requestors.is_empty() {
+        return Err(EcPipeError::InvalidRequest {
+            reason: "at least one requestor is required".to_string(),
+        });
+    }
+    if requestors.contains(&failed_node) {
+        return Err(EcPipeError::InvalidRequest {
+            reason: "the failed node cannot be a requestor".to_string(),
+        });
+    }
+    Ok(coordinator
+        .stripes_on_node(failed_node)
+        .into_iter()
+        .enumerate()
+        .map(|(i, (stripe, failed))| RepairRequest {
+            stripe,
+            failed,
+            requestor: requestors[i % requestors.len()],
+            priority: RepairPriority::Background,
+        })
+        .collect())
+}
+
+/// Recovers every block of `failed_node` through the manager: plans the
+/// per-stripe requests, marks the node dead for helper selection, and runs
+/// them on the configured worker pool.
+pub fn recover_node<T: Transport + ?Sized>(
+    coordinator: &mut Coordinator,
+    cluster: &Cluster,
+    transport: &T,
+    failed_node: NodeId,
+    requestors: &[NodeId],
+    config: &ManagerConfig,
+) -> Result<ManagerReport> {
+    let requests = node_recovery_requests(coordinator, failed_node, requestors)?;
+    let mut config = config.clone();
+    if !config.known_dead.contains(&failed_node) {
+        config.known_dead.push(failed_node);
+    }
+    run_batch(coordinator, cluster, transport, &config, requests)
+}
+
+struct DaemonShared<T> {
+    engine: EngineState,
+    coordinator: Mutex<Coordinator>,
+    cluster: Cluster,
+    transport: T,
+    config: ManagerConfig,
+}
+
+/// The long-running repair daemon: owns the coordinator, cluster and
+/// transport, keeps a worker pool alive, and accepts repair requests and
+/// failure reports while running.
+///
+/// ```
+/// use std::sync::Arc;
+/// use ecc::slice::SliceLayout;
+/// use ecc::ReedSolomon;
+/// use ecpipe::manager::{ManagerConfig, RepairManager};
+/// use ecpipe::transport::ChannelTransport;
+/// use ecpipe::{Cluster, Coordinator};
+///
+/// let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
+/// let mut coordinator = Coordinator::new(code, SliceLayout::new(4096, 1024));
+/// let mut cluster = Cluster::in_memory(10);
+/// let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 4096]).collect();
+/// for s in 0..4 {
+///     cluster.write_stripe(&mut coordinator, s, &data).unwrap();
+/// }
+/// let config = ManagerConfig {
+///     auto_requestors: vec![8, 9],
+///     ..ManagerConfig::default()
+/// };
+/// let manager = RepairManager::start(coordinator, cluster, ChannelTransport::new(), config);
+/// let queued = manager.report_node_failure(2);
+/// manager.wait_idle();
+/// let report = manager.shutdown();
+/// assert_eq!(report.blocks_repaired, queued);
+/// ```
+pub struct RepairManager<T: Transport + Send + Sync + 'static> {
+    shared: Arc<DaemonShared<T>>,
+    workers: Vec<JoinHandle<()>>,
+    started: Instant,
+    baseline_bytes: u64,
+}
+
+impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
+    /// Starts the daemon: spawns `config.workers` worker threads that serve
+    /// the queue until [`shutdown`](RepairManager::shutdown).
+    pub fn start(
+        coordinator: Coordinator,
+        cluster: Cluster,
+        transport: T,
+        config: ManagerConfig,
+    ) -> Self {
+        let baseline_bytes = transport.total_bytes();
+        let shared = Arc::new(DaemonShared {
+            engine: EngineState::new(&config, false),
+            coordinator: Mutex::new(coordinator),
+            cluster,
+            transport,
+            config,
+        });
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("repair-worker-{i}"))
+                    .spawn(move || {
+                        worker_loop(
+                            &shared.engine,
+                            &shared.coordinator,
+                            &shared.cluster,
+                            &shared.transport,
+                            &shared.config,
+                        )
+                    })
+                    .expect("spawn repair worker")
+            })
+            .collect();
+        RepairManager {
+            shared,
+            workers,
+            started: Instant::now(),
+            baseline_bytes,
+        }
+    }
+
+    /// Enqueues a repair. Returns `Ok(false)` if the block is already queued
+    /// or in flight.
+    pub fn enqueue(&self, request: RepairRequest) -> Result<bool> {
+        self.shared.engine.submit(request)
+    }
+
+    /// Enqueues a degraded read — highest priority — reconstructing block
+    /// `failed` of `stripe` onto `requestor`.
+    pub fn degraded_read(
+        &self,
+        stripe: ecc::stripe::StripeId,
+        failed: usize,
+        requestor: NodeId,
+    ) -> Result<bool> {
+        self.enqueue(RepairRequest {
+            stripe,
+            failed,
+            requestor,
+            priority: RepairPriority::DegradedRead,
+        })
+    }
+
+    /// Declares a node dead and enqueues background recovery for every
+    /// stripe that still maps a block to it (requestors come from
+    /// `config.auto_requestors`, round-robin). Returns the number of repairs
+    /// queued.
+    pub fn report_node_failure(&self, node: NodeId) -> usize {
+        self.shared.engine.liveness.mark_dead(node);
+        self.shared
+            .engine
+            .enqueue_node_recovery(&self.shared.coordinator, node)
+    }
+
+    /// The current health of a node, as inferred from repair outcomes and
+    /// failure reports.
+    pub fn node_health(&self, node: NodeId) -> NodeHealth {
+        self.shared.engine.liveness.health_of(node)
+    }
+
+    /// Every node with a non-default health state.
+    pub fn liveness_snapshot(&self) -> HashMap<NodeId, NodeHealth> {
+        self.shared.engine.liveness.snapshot()
+    }
+
+    /// Number of repairs waiting in the queue (not counting in-flight work).
+    pub fn queued(&self) -> usize {
+        self.shared.engine.queue.len()
+    }
+
+    /// Blocks until no repair is queued or in flight.
+    pub fn wait_idle(&self) {
+        self.shared.engine.wait_idle();
+    }
+
+    /// The cluster the manager repairs into (e.g. to read reconstructed
+    /// blocks back).
+    pub fn cluster(&self) -> &Cluster {
+        &self.shared.cluster
+    }
+
+    /// The transport the manager executes over (e.g. for byte accounting).
+    pub fn transport(&self) -> &T {
+        &self.shared.transport
+    }
+
+    /// Graceful shutdown: stops accepting work, drains the queue, joins the
+    /// workers and returns the run's report.
+    pub fn shutdown(self) -> ManagerReport {
+        self.shared.engine.queue.close();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        self.shared.engine.metrics.report(
+            self.started.elapsed(),
+            self.shared.transport.total_bytes() - self.baseline_bytes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ChannelTransport;
+    use ecc::slice::SliceLayout;
+    use ecc::stripe::StripeId;
+    use ecc::ReedSolomon;
+
+    fn setup(stripes: u64, nodes: usize) -> (Cluster, Coordinator, Vec<Vec<Vec<u8>>>) {
+        let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
+        let mut coordinator = Coordinator::new(code, SliceLayout::new(2048, 256));
+        let mut cluster = Cluster::in_memory(nodes);
+        let mut all = Vec::new();
+        for s in 0..stripes {
+            let data: Vec<Vec<u8>> = (0..4)
+                .map(|i| {
+                    (0..2048)
+                        .map(|b| ((b as u64 * 31 + i as u64 * 7 + s * 13) % 251) as u8)
+                        .collect()
+                })
+                .collect();
+            cluster.write_stripe(&mut coordinator, s, &data).unwrap();
+            all.push(data);
+        }
+        (cluster, coordinator, all)
+    }
+
+    #[test]
+    fn batch_recovers_a_node_concurrently() {
+        let (cluster, mut coordinator, _) = setup(12, 10);
+        let lost = cluster.kill_node(3);
+        let transport = ChannelTransport::new();
+        let config = ManagerConfig::default()
+            .with_workers(4)
+            .with_inflight_cap(3);
+        let report =
+            recover_node(&mut coordinator, &cluster, &transport, 3, &[8, 9], &config).unwrap();
+        assert_eq!(report.blocks_repaired, lost.len());
+        assert!(report.max_inflight() <= 3);
+        assert_eq!(report.outcomes.len(), lost.len());
+        assert!(report.network_bytes > 0);
+        for block in lost {
+            assert!(
+                [8usize, 9]
+                    .iter()
+                    .any(|&r| cluster.store(r).contains(block)),
+                "block {block} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_drops_duplicate_requests() {
+        let (cluster, mut coordinator, data) = setup(1, 10);
+        cluster.erase_block(StripeId(0), 0);
+        let request = RepairRequest {
+            stripe: StripeId(0),
+            failed: 0,
+            requestor: 9,
+            priority: RepairPriority::DegradedRead,
+        };
+        let transport = ChannelTransport::new();
+        let report = run_batch(
+            &mut coordinator,
+            &cluster,
+            &transport,
+            &ManagerConfig::default(),
+            vec![request.clone(), request],
+        )
+        .unwrap();
+        assert_eq!(report.blocks_repaired, 1);
+        assert_eq!(
+            cluster
+                .store(9)
+                .get(ecc::stripe::BlockId::new(0, 0))
+                .unwrap(),
+            bytes::Bytes::from(data[0][0].clone())
+        );
+    }
+
+    #[test]
+    fn recover_node_validates_requestors() {
+        let (cluster, mut coordinator, _) = setup(1, 10);
+        let transport = ChannelTransport::new();
+        let config = ManagerConfig::default();
+        assert!(recover_node(&mut coordinator, &cluster, &transport, 0, &[], &config).is_err());
+        assert!(recover_node(&mut coordinator, &cluster, &transport, 0, &[0], &config).is_err());
+    }
+
+    #[test]
+    fn daemon_serves_degraded_reads() {
+        let (cluster, coordinator, data) = setup(4, 10);
+        cluster.erase_block(StripeId(2), 1);
+        let manager = RepairManager::start(
+            coordinator,
+            cluster,
+            ChannelTransport::new(),
+            ManagerConfig::default().with_workers(2),
+        );
+        assert!(manager.degraded_read(StripeId(2), 1, 9).unwrap());
+        manager.wait_idle();
+        assert_eq!(
+            manager
+                .cluster()
+                .store(9)
+                .get(ecc::stripe::BlockId::new(2, 1))
+                .unwrap(),
+            bytes::Bytes::from(data[2][1].clone())
+        );
+        let report = manager.shutdown();
+        assert_eq!(report.blocks_repaired, 1);
+        assert_eq!(report.degraded_wait.count, 1);
+        assert_eq!(report.failed_repairs, 0);
+    }
+}

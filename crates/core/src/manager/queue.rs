@@ -1,0 +1,175 @@
+//! The prioritized repair queue.
+//!
+//! Two FIFO classes: degraded reads (a client is blocked on the block right
+//! now) always pop before background full-node recovery work. Workers block
+//! on [`RepairQueue::pop`] until work arrives or the queue is closed and
+//! drained, so the same queue drives both the run-to-completion batch engine
+//! and the long-running daemon.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use ecc::stripe::StripeId;
+use simnet::NodeId;
+
+/// Priority class of a repair. Lower is more urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RepairPriority {
+    /// A degraded read: a client is waiting for this block (§3.2). Pops
+    /// before any queued background work.
+    DegradedRead,
+    /// Background single-stripe repair, typically part of a full-node
+    /// recovery (§3.3).
+    Background,
+}
+
+impl RepairPriority {
+    /// A short label for reports and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RepairPriority::DegradedRead => "degraded-read",
+            RepairPriority::Background => "background",
+        }
+    }
+}
+
+/// One repair the manager should perform: reconstruct block `failed` of
+/// `stripe` onto `requestor`.
+#[derive(Debug, Clone)]
+pub struct RepairRequest {
+    /// The stripe with the missing block.
+    pub stripe: StripeId,
+    /// Index of the block to reconstruct.
+    pub failed: usize,
+    /// Node that receives (and stores) the reconstructed block.
+    pub requestor: NodeId,
+    /// Priority class.
+    pub priority: RepairPriority,
+}
+
+/// A queued request plus the instant it entered the queue (for queue-latency
+/// accounting).
+pub(crate) struct QueuedRepair {
+    pub request: RepairRequest,
+    pub enqueued: Instant,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    degraded: VecDeque<QueuedRepair>,
+    background: VecDeque<QueuedRepair>,
+    closed: bool,
+}
+
+/// A blocking two-class priority queue.
+pub(crate) struct RepairQueue {
+    inner: Mutex<QueueInner>,
+    available: Condvar,
+}
+
+impl RepairQueue {
+    pub(crate) fn new() -> Self {
+        RepairQueue {
+            inner: Mutex::new(QueueInner::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a request. Returns `false` (dropping the request) once the
+    /// queue is closed.
+    pub(crate) fn push(&self, request: RepairRequest) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return false;
+        }
+        let queued = QueuedRepair {
+            request,
+            enqueued: Instant::now(),
+        };
+        match queued.request.priority {
+            RepairPriority::DegradedRead => inner.degraded.push_back(queued),
+            RepairPriority::Background => inner.background.push_back(queued),
+        }
+        drop(inner);
+        self.available.notify_one();
+        true
+    }
+
+    /// Pops the most urgent request, blocking while the queue is open but
+    /// empty. Returns `None` once the queue is closed *and* drained.
+    pub(crate) fn pop(&self) -> Option<QueuedRepair> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.degraded.pop_front() {
+                return Some(job);
+            }
+            if let Some(job) = inner.background.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    /// Closes the queue: no further pushes are accepted, and `pop` returns
+    /// `None` once the remaining work is drained.
+    pub(crate) fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Number of requests currently waiting (not counting in-flight work).
+    pub(crate) fn len(&self) -> usize {
+        let inner = self.inner.lock().unwrap();
+        inner.degraded.len() + inner.background.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(stripe: u64, priority: RepairPriority) -> RepairRequest {
+        RepairRequest {
+            stripe: StripeId(stripe),
+            failed: 0,
+            requestor: 9,
+            priority,
+        }
+    }
+
+    #[test]
+    fn degraded_reads_pop_before_background() {
+        let q = RepairQueue::new();
+        assert!(q.push(request(1, RepairPriority::Background)));
+        assert!(q.push(request(2, RepairPriority::Background)));
+        assert!(q.push(request(3, RepairPriority::DegradedRead)));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().request.stripe, StripeId(3));
+        assert_eq!(q.pop().unwrap().request.stripe, StripeId(1));
+        assert_eq!(q.pop().unwrap().request.stripe, StripeId(2));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = RepairQueue::new();
+        q.push(request(1, RepairPriority::Background));
+        q.close();
+        assert!(!q.push(request(2, RepairPriority::Background)));
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_work_arrives() {
+        let q = std::sync::Arc::new(RepairQueue::new());
+        let q2 = q.clone();
+        let handle = std::thread::spawn(move || q2.pop().map(|j| j.request.stripe));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(request(7, RepairPriority::DegradedRead));
+        assert_eq!(handle.join().unwrap(), Some(StripeId(7)));
+    }
+}

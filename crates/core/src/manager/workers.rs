@@ -1,0 +1,508 @@
+//! The worker pool: admission gate, shared engine state and the per-worker
+//! repair loop.
+//!
+//! Every worker runs [`worker_loop`]: pop the most urgent request, plan it
+//! with least-recently-used helper selection (§3.3) while excluding blocks
+//! on dead nodes, pass the chosen nodes through the admission gate (per-node
+//! in-flight caps — the runtime enforcement of the paper's "no overloaded
+//! helper" scheduling), execute, and store the reconstructed block. A helper
+//! whose block vanishes mid-flight earns a liveness strike and the repair is
+//! re-planned with the survivors, generalizing
+//! [`degraded_read_with_retry`](crate::recovery::degraded_read_with_retry).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use bytes::Bytes;
+
+use ecc::stripe::BlockId;
+use simnet::NodeId;
+
+use crate::cluster::Cluster;
+use crate::coordinator::{RepairDirective, SelectionPolicy};
+use crate::exec;
+use crate::transport::Transport;
+use crate::{Coordinator, EcPipeError, Result};
+
+use super::liveness::Liveness;
+use super::metrics::{FailedRepair, MetricsCollector};
+use super::queue::{QueuedRepair, RepairQueue, RepairRequest};
+use super::ManagerConfig;
+
+/// Shared access to the coordinator: the batch engine borrows the caller's
+/// `&mut Coordinator`, the daemon owns one — both behind a lock.
+pub(crate) trait CoordHandle: Sync {
+    /// Runs `f` with exclusive access to the coordinator.
+    fn with<R>(&self, f: impl FnOnce(&mut Coordinator) -> R) -> R;
+}
+
+impl CoordHandle for parking_lot::Mutex<Coordinator> {
+    fn with<R>(&self, f: impl FnOnce(&mut Coordinator) -> R) -> R {
+        let mut guard = self.lock();
+        f(&mut guard)
+    }
+}
+
+impl CoordHandle for parking_lot::Mutex<&mut Coordinator> {
+    fn with<R>(&self, f: impl FnOnce(&mut Coordinator) -> R) -> R {
+        let mut guard = self.lock();
+        f(&mut guard)
+    }
+}
+
+/// Per-node in-flight caps: a repair may only start once every node it
+/// involves (helpers and requestor) is below the cap, and it holds one slot
+/// on each for its whole execution. All-or-nothing acquisition under a
+/// single lock, so partial reservations (and therefore deadlocks) cannot
+/// occur.
+pub(crate) struct AdmissionGate {
+    counts: Mutex<HashMap<NodeId, usize>>,
+    freed: Condvar,
+    cap: usize,
+}
+
+impl AdmissionGate {
+    pub(crate) fn new(cap: usize) -> Self {
+        AdmissionGate {
+            counts: Mutex::new(HashMap::new()),
+            freed: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks until every node in `nodes` is below the cap, then reserves
+    /// one slot on each distinct node (duplicates in `nodes` are collapsed,
+    /// so a node never holds more than one slot per repair and the cap
+    /// invariant survives odd directives). The reservation is released when
+    /// the guard drops.
+    ///
+    /// Admission is priority-agnostic: priorities order the *queue*, but a
+    /// degraded read already blocked here competes with later arrivals for
+    /// a freed slot on equal terms.
+    fn acquire<'a>(&'a self, nodes: &[NodeId], metrics: &MetricsCollector) -> RoleGuard<'a> {
+        let mut distinct = nodes.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let mut counts = self.counts.lock().unwrap();
+        loop {
+            if distinct
+                .iter()
+                .all(|n| counts.get(n).copied().unwrap_or(0) < self.cap)
+            {
+                for &n in &distinct {
+                    let slot = counts.entry(n).or_insert(0);
+                    *slot += 1;
+                    metrics.record_inflight(n, *slot);
+                }
+                return RoleGuard {
+                    gate: self,
+                    nodes: distinct,
+                };
+            }
+            counts = self.freed.wait(counts).unwrap();
+        }
+    }
+}
+
+struct RoleGuard<'a> {
+    gate: &'a AdmissionGate,
+    nodes: Vec<NodeId>,
+}
+
+impl Drop for RoleGuard<'_> {
+    fn drop(&mut self) {
+        let mut counts = self.gate.counts.lock().unwrap();
+        for n in &self.nodes {
+            if let Some(slot) = counts.get_mut(n) {
+                *slot = slot.saturating_sub(1);
+            }
+        }
+        drop(counts);
+        self.gate.freed.notify_all();
+    }
+}
+
+/// Everything the workers share: queue, gate, liveness, metrics, pending
+/// accounting and the fail-fast machinery of batch mode.
+pub(crate) struct EngineState {
+    pub(crate) queue: RepairQueue,
+    pub(crate) gate: AdmissionGate,
+    pub(crate) liveness: Liveness,
+    pub(crate) metrics: MetricsCollector,
+    /// Batch mode: the first failure aborts the run. Daemon mode records
+    /// failures and keeps serving.
+    fail_fast: bool,
+    abort: AtomicBool,
+    first_error: Mutex<Option<EcPipeError>>,
+    /// Requests enqueued but not yet completed (queued + in flight).
+    pending: Mutex<usize>,
+    idle: Condvar,
+    /// Blocks currently queued or in flight, so a block is never repaired
+    /// twice concurrently (degraded read racing auto-recovery).
+    scheduled: Mutex<HashSet<(u64, usize)>>,
+    /// Round-robin requestor pool for auto-enqueued node recovery.
+    auto_requestors: Vec<NodeId>,
+    auto_rr: AtomicUsize,
+}
+
+impl EngineState {
+    pub(crate) fn new(config: &ManagerConfig, fail_fast: bool) -> Self {
+        EngineState {
+            queue: RepairQueue::new(),
+            gate: AdmissionGate::new(config.per_node_inflight_cap),
+            liveness: Liveness::new(config.dead_after_misses, &config.known_dead),
+            metrics: MetricsCollector::new(),
+            fail_fast,
+            abort: AtomicBool::new(false),
+            first_error: Mutex::new(None),
+            pending: Mutex::new(0),
+            idle: Condvar::new(),
+            scheduled: Mutex::new(HashSet::new()),
+            auto_requestors: config.auto_requestors.clone(),
+            auto_rr: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueues a request. `Ok(false)` means the block is already queued or
+    /// in flight (the request is dropped); an error means the queue is
+    /// closed.
+    pub(crate) fn submit(&self, request: RepairRequest) -> Result<bool> {
+        let key = (request.stripe.0, request.failed);
+        if !self.scheduled.lock().unwrap().insert(key) {
+            return Ok(false);
+        }
+        *self.pending.lock().unwrap() += 1;
+        if self.queue.push(request) {
+            Ok(true)
+        } else {
+            self.scheduled.lock().unwrap().remove(&key);
+            self.finish_pending();
+            Err(EcPipeError::ManagerShutdown)
+        }
+    }
+
+    /// Marks one request finished (successfully or not) and wakes
+    /// `wait_idle` when everything has drained.
+    fn finish_pending(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        *pending = pending.saturating_sub(1);
+        if *pending == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Blocks until no request is queued or in flight.
+    pub(crate) fn wait_idle(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.idle.wait(pending).unwrap();
+        }
+    }
+
+    pub(crate) fn aborted(&self) -> bool {
+        self.abort.load(Ordering::SeqCst)
+    }
+
+    fn abort_with(&self, error: EcPipeError) {
+        let mut first = self.first_error.lock().unwrap();
+        if first.is_none() {
+            *first = Some(error);
+        }
+        self.abort.store(true, Ordering::SeqCst);
+        self.queue.close();
+    }
+
+    /// The first error of a fail-fast run, if any.
+    pub(crate) fn take_error(&self) -> Option<EcPipeError> {
+        self.first_error.lock().unwrap().take()
+    }
+
+    /// The next live requestor from the auto-recovery pool (round-robin).
+    fn next_auto_requestor(&self) -> Option<NodeId> {
+        for _ in 0..self.auto_requestors.len() {
+            let i = self.auto_rr.fetch_add(1, Ordering::Relaxed) % self.auto_requestors.len();
+            let candidate = self.auto_requestors[i];
+            if !self.liveness.is_dead(candidate) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Enqueues a background repair for every stripe still mapping a block
+    /// to `node` (called when a node is declared dead). Returns how many
+    /// repairs were queued.
+    pub(crate) fn enqueue_node_recovery<C: CoordHandle>(&self, coord: &C, node: NodeId) -> usize {
+        if self.auto_requestors.is_empty() {
+            return 0;
+        }
+        let affected = coord.with(|c| c.stripes_on_node(node));
+        let mut queued = 0;
+        for (stripe, failed) in affected {
+            let Some(requestor) = self.next_auto_requestor() else {
+                break;
+            };
+            let ok = self.submit(RepairRequest {
+                stripe,
+                failed,
+                requestor,
+                priority: super::queue::RepairPriority::Background,
+            });
+            if matches!(ok, Ok(true)) {
+                queued += 1;
+            }
+        }
+        queued
+    }
+}
+
+/// A completed repair, as seen by the metrics layer.
+struct Done {
+    bytes: usize,
+    replans: usize,
+    /// The node that actually received the block (may differ from the
+    /// request when the manager fell back to another requestor).
+    requestor: NodeId,
+    /// Every node that held a role (helpers + requestor).
+    roles: Vec<NodeId>,
+}
+
+struct RepairFailure {
+    error: EcPipeError,
+    replans: usize,
+}
+
+/// Records a liveness strike against `node`; if this pushes it over the
+/// death threshold, recovery of everything else it held is queued.
+fn strike<C: CoordHandle>(engine: &EngineState, coord: &C, node: NodeId) {
+    if engine.liveness.record_miss(node) {
+        engine.enqueue_node_recovery(coord, node);
+    }
+}
+
+/// The body of one worker thread: drains the queue until it is closed and
+/// empty.
+pub(crate) fn worker_loop<C, T>(
+    engine: &EngineState,
+    coord: &C,
+    cluster: &Cluster,
+    transport: &T,
+    config: &ManagerConfig,
+) where
+    C: CoordHandle,
+    T: Transport + ?Sized,
+{
+    while let Some(job) = engine.queue.pop() {
+        let key = (job.request.stripe.0, job.request.failed);
+        if engine.aborted() {
+            engine.scheduled.lock().unwrap().remove(&key);
+            engine.finish_pending();
+            continue;
+        }
+        let queue_wait = job.enqueued.elapsed();
+        let started_seq = engine.metrics.begin_repair();
+        let started = Instant::now();
+        match run_one(engine, coord, cluster, transport, config, &job) {
+            Ok(done) => {
+                engine.metrics.record_success(
+                    job.request.stripe,
+                    job.request.failed,
+                    done.requestor,
+                    job.request.priority,
+                    queue_wait,
+                    started.elapsed(),
+                    done.replans,
+                    started_seq,
+                    done.bytes,
+                    &done.roles,
+                );
+            }
+            Err(failure) => {
+                if engine.fail_fast {
+                    engine.abort_with(failure.error);
+                } else {
+                    engine.metrics.record_failure(FailedRepair {
+                        stripe: job.request.stripe,
+                        failed: job.request.failed,
+                        requestor: job.request.requestor,
+                        priority: job.request.priority,
+                        error: failure.error.to_string(),
+                        replans: failure.replans,
+                    });
+                }
+            }
+        }
+        engine.scheduled.lock().unwrap().remove(&key);
+        engine.finish_pending();
+    }
+}
+
+/// Plans a repair with LRU helper selection, excluding `excluded` block
+/// indices and every block that sits on a dead node.
+fn plan_repair<C: CoordHandle>(
+    engine: &EngineState,
+    coord: &C,
+    request: &RepairRequest,
+    requestor: NodeId,
+    excluded: &[usize],
+) -> Result<RepairDirective> {
+    coord.with(|c| {
+        let locations = c.stripe(request.stripe)?.locations.clone();
+        let mut unavailable = excluded.to_vec();
+        for (index, &node) in locations.iter().enumerate() {
+            if index != request.failed
+                && !unavailable.contains(&index)
+                && engine.liveness.is_dead(node)
+            {
+                unavailable.push(index);
+            }
+        }
+        c.plan_single_repair(
+            request.stripe,
+            request.failed,
+            requestor,
+            &unavailable,
+            SelectionPolicy::LeastRecentlyUsed,
+        )
+    })
+}
+
+/// Executes one request end to end, re-planning around helpers that die
+/// mid-flight (up to `config.max_replans` times).
+fn run_one<C, T>(
+    engine: &EngineState,
+    coord: &C,
+    cluster: &Cluster,
+    transport: &T,
+    config: &ManagerConfig,
+    job: &QueuedRepair,
+) -> std::result::Result<Done, RepairFailure>
+where
+    C: CoordHandle,
+    T: Transport + ?Sized,
+{
+    let request = &job.request;
+    // Requestor candidates: the requested node first, then the
+    // auto-recovery pool as fallbacks. A requestor that already holds
+    // blocks of the stripe (e.g. after earlier relocations) can shrink the
+    // candidate helper set below `k`; falling back to another requestor
+    // keeps the block repairable. The sequential wrapper configures no
+    // fallbacks, preserving the historical behavior exactly.
+    let mut requestors: Vec<NodeId> = vec![request.requestor];
+    for &candidate in &engine.auto_requestors {
+        if !requestors.contains(&candidate) {
+            requestors.push(candidate);
+        }
+    }
+    let mut requestor_idx = 0usize;
+    let mut excluded: Vec<usize> = Vec::new();
+    let mut replans = 0usize;
+    loop {
+        // A requestor declared dead (possibly after this request was
+        // enqueued) must not receive the block: storing onto a dead node
+        // would count the repair as done while the data is already lost.
+        while engine.liveness.is_dead(requestors[requestor_idx]) {
+            if requestor_idx + 1 < requestors.len() {
+                requestor_idx += 1;
+            } else {
+                return Err(RepairFailure {
+                    error: EcPipeError::InvalidRequest {
+                        reason: format!(
+                            "every candidate requestor for block {} of stripe {} is dead",
+                            request.failed, request.stripe.0
+                        ),
+                    },
+                    replans,
+                });
+            }
+        }
+        let requestor = requestors[requestor_idx];
+        // Plan fresh on each attempt: after a helper loss the helper set
+        // must shrink around the excluded block.
+        let directive = match plan_repair(engine, coord, request, requestor, &excluded) {
+            Ok(d) => d,
+            Err(error @ EcPipeError::Planning(_)) => {
+                if requestor_idx + 1 < requestors.len() {
+                    requestor_idx += 1;
+                    replans += 1;
+                    continue;
+                }
+                return Err(RepairFailure { error, replans });
+            }
+            Err(error) => return Err(RepairFailure { error, replans }),
+        };
+        let mut roles = directive.helper_nodes();
+        roles.push(requestor);
+        // The whole execution holds one admission slot per involved node;
+        // the guard releases them even on failure.
+        let outcome = {
+            let _roles_held = engine.gate.acquire(&roles, &engine.metrics);
+            exec::execute_single(&directive, cluster, transport, config.strategy)
+        };
+        match outcome {
+            Ok(block) => {
+                if let Err(error) = cluster.store(requestor).put(
+                    BlockId {
+                        stripe: request.stripe,
+                        index: request.failed,
+                    },
+                    Bytes::from(block.clone()),
+                ) {
+                    return Err(RepairFailure { error, replans });
+                }
+                engine.liveness.record_success(&directive.helper_nodes());
+                if config.relocate_on_success {
+                    if let Err(error) =
+                        coord.with(|c| c.relocate_block(request.stripe, request.failed, requestor))
+                    {
+                        return Err(RepairFailure { error, replans });
+                    }
+                }
+                return Ok(Done {
+                    bytes: block.len(),
+                    replans,
+                    requestor,
+                    roles,
+                });
+            }
+            Err(EcPipeError::BlockNotFound { block })
+                if block.stripe == request.stripe && replans < config.max_replans =>
+            {
+                // A helper lost its block between planning and execution:
+                // strike the node, exclude the block, re-plan with the
+                // survivors (§3.2 straggler handling, generalized).
+                replans += 1;
+                excluded.push(block.index);
+                if let Some(&(node, _, _)) =
+                    directive.path.iter().find(|e| e.1.index == block.index)
+                {
+                    strike(engine, coord, node);
+                }
+            }
+            Err(error @ EcPipeError::Execution { .. }) if replans < config.max_replans => {
+                // A helper died *mid-stream*: the pipeline reports only that
+                // a link ended early, so identify the culprits by re-checking
+                // which helper blocks are still present, then re-plan around
+                // them. If every block is still there the failure was not a
+                // vanished helper — give up with the original error.
+                let missing: Vec<(NodeId, usize)> = directive
+                    .path
+                    .iter()
+                    .filter(|&&(node, block, _)| !cluster.store(node).contains(block))
+                    .map(|&(node, block, _)| (node, block.index))
+                    .collect();
+                if missing.is_empty() {
+                    return Err(RepairFailure { error, replans });
+                }
+                replans += 1;
+                for (node, index) in missing {
+                    excluded.push(index);
+                    strike(engine, coord, node);
+                }
+            }
+            Err(error) => return Err(RepairFailure { error, replans }),
+        }
+    }
+}

@@ -8,17 +8,24 @@
 //! reconstructed blocks also covers the §6.4 comparisons: a single
 //! replacement node (`RP-single` / `PUSH-Rep`) versus all surviving nodes
 //! (`RP-all` / `PUSH-Sur`).
+//!
+//! Since the [`manager`] subsystem landed, this sequential
+//! entry point is a thin wrapper over
+//! [`run_batch`](crate::manager::run_batch) with one worker and no admission
+//! cap — today's semantics, same byte-for-byte results. Use
+//! [`recover_node`](crate::manager::recover_node) with a multi-worker
+//! [`ManagerConfig`] to run the same recovery concurrently.
 
 use std::collections::HashMap;
+use std::time::Duration;
 
-use bytes::Bytes;
-
-use ecc::stripe::BlockId;
+use ecc::stripe::StripeId;
 use simnet::NodeId;
 
 use crate::cluster::Cluster;
 use crate::coordinator::SelectionPolicy;
 use crate::exec::{self, ExecStrategy};
+use crate::manager::{self, ManagerConfig, ManagerReport};
 use crate::transport::{ChannelTransport, Transport};
 use crate::{Coordinator, EcPipeError, Result};
 
@@ -33,6 +40,29 @@ pub struct RecoveryReport {
     pub per_requestor: HashMap<NodeId, usize>,
     /// Total bytes moved over the transport during the recovery.
     pub network_bytes: u64,
+    /// Elapsed wall-clock time of the whole recovery, so sequential and
+    /// concurrent runs are comparable from the report alone.
+    pub wall_time: Duration,
+    /// Per-stripe repair durations `(stripe, time from pickup to stored
+    /// block)`, in completion order.
+    pub stripe_durations: Vec<(StripeId, Duration)>,
+}
+
+impl RecoveryReport {
+    fn from_manager(report: &ManagerReport) -> Self {
+        RecoveryReport {
+            blocks_repaired: report.blocks_repaired,
+            bytes_repaired: report.bytes_repaired,
+            per_requestor: report.per_requestor.clone(),
+            network_bytes: report.network_bytes,
+            wall_time: report.wall_time,
+            stripe_durations: report
+                .outcomes
+                .iter()
+                .map(|o| (o.stripe, o.duration))
+                .collect(),
+        }
+    }
 }
 
 /// Recovers every block that was stored on `failed_node`, writing each
@@ -58,6 +88,11 @@ pub fn full_node_recovery(
 
 /// [`full_node_recovery`] over an explicit transport backend; the report's
 /// `network_bytes` counts only the traffic this recovery put on it.
+///
+/// This is the sequential baseline: a thin wrapper over the repair
+/// manager's batch engine with [`ManagerConfig::sequential`] (one worker,
+/// unbounded admission cap, no re-plans), which walks the affected stripes
+/// in id order exactly like the historical loop did.
 pub fn full_node_recovery_over<T: Transport + ?Sized>(
     coordinator: &mut Coordinator,
     cluster: &Cluster,
@@ -66,42 +101,16 @@ pub fn full_node_recovery_over<T: Transport + ?Sized>(
     strategy: ExecStrategy,
     transport: &T,
 ) -> Result<RecoveryReport> {
-    if requestors.is_empty() {
-        return Err(EcPipeError::InvalidRequest {
-            reason: "at least one requestor is required".to_string(),
-        });
-    }
-    if requestors.contains(&failed_node) {
-        return Err(EcPipeError::InvalidRequest {
-            reason: "the failed node cannot be a requestor".to_string(),
-        });
-    }
-    let affected = coordinator.stripes_on_node(failed_node);
-    let baseline_bytes = transport.total_bytes();
-    let mut report = RecoveryReport::default();
-    for (i, (stripe, failed_index)) in affected.into_iter().enumerate() {
-        let requestor = requestors[i % requestors.len()];
-        let directive = coordinator.plan_single_repair(
-            stripe,
-            failed_index,
-            requestor,
-            &[],
-            SelectionPolicy::LeastRecentlyUsed,
-        )?;
-        let repaired = exec::execute_single(&directive, cluster, transport, strategy)?;
-        cluster.store(requestor).put(
-            BlockId {
-                stripe,
-                index: failed_index,
-            },
-            Bytes::from(repaired.clone()),
-        )?;
-        report.blocks_repaired += 1;
-        report.bytes_repaired += repaired.len();
-        *report.per_requestor.entry(requestor).or_default() += 1;
-    }
-    report.network_bytes = transport.total_bytes() - baseline_bytes;
-    Ok(report)
+    let config = ManagerConfig::sequential(strategy);
+    let report = manager::recover_node(
+        coordinator,
+        cluster,
+        transport,
+        failed_node,
+        requestors,
+        &config,
+    )?;
+    Ok(RecoveryReport::from_manager(&report))
 }
 
 /// Repairs a degraded read with straggler handling (§3.2): if a helper fails
@@ -213,6 +222,13 @@ mod tests {
         assert_eq!(total, lost.len());
         assert!(report.per_requestor.len() <= 2);
         assert!(report.network_bytes > 0);
+        // Elapsed-time accounting: a wall time and one duration per stripe.
+        assert!(report.wall_time > std::time::Duration::ZERO);
+        assert_eq!(report.stripe_durations.len(), lost.len());
+        assert!(report
+            .stripe_durations
+            .iter()
+            .all(|&(_, d)| d <= report.wall_time));
         // Every reconstructed block matches a fresh re-encode of the stripe.
         for block in lost {
             let found = [8usize, 9]

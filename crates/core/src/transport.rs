@@ -7,11 +7,16 @@
 //!
 //! * [`ChannelTransport`] — bounded in-process channels, the fast default
 //!   used by tests and benches (an in-memory staging area between pipeline
-//!   stages, playing the role of the paper's Redis instances);
+//!   stages, playing the role of the paper's Redis instances); an optional
+//!   per-link token-bucket throttle
+//!   ([`ChannelTransport::with_rate_limit`]) simulates bandwidth-limited
+//!   links in process, which is what makes concurrent recovery through the
+//!   [`manager`](crate::manager) measurably faster than the sequential
+//!   loop even on a single-core host;
 //! * [`TcpTransport`] — real localhost TCP sockets with a length-prefixed
-//!   wire format, connection reuse and an optional token-bucket bandwidth
-//!   throttle, so the timing claims of §3.2 can be measured on sockets
-//!   rather than only in `simnet`.
+//!   wire format, connection reuse and the same optional token-bucket
+//!   bandwidth throttle, so the timing claims of §3.2 can be measured on
+//!   sockets rather than only in `simnet`.
 //!
 //! Every backend keeps per-link byte counters ([`LinkStats`]) so tests can
 //! check the traffic-distribution claims of the paper (e.g. repair
@@ -22,6 +27,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
@@ -32,6 +38,56 @@ use simnet::NodeId;
 mod tcp;
 
 pub use tcp::TcpTransport;
+
+/// A token bucket limiting one link to `rate` bytes per second. Shared by
+/// both backends: it shapes real socket writes in [`TcpTransport`] and
+/// simulates constrained links in [`ChannelTransport`].
+pub(crate) struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    state: std::sync::Mutex<(f64, Instant)>,
+}
+
+impl TokenBucket {
+    pub(crate) fn new(rate: u64) -> Self {
+        let rate = rate.max(1) as f64;
+        // A small burst keeps the shaping fine-grained: the bucket never
+        // banks more than ~2 ms of line rate while a link is idle (min
+        // 2 KiB so tiny rates make progress). It also starts empty, so
+        // every byte pays the line rate from the first slice on — both
+        // choices keep measured repair times close to the store-and-forward
+        // timing model of §3.2 instead of letting idle links run ahead.
+        let burst = (rate / 500.0).max(2048.0);
+        TokenBucket {
+            rate,
+            burst,
+            state: std::sync::Mutex::new((0.0, Instant::now())),
+        }
+    }
+
+    pub(crate) fn take(&self, bytes: usize) {
+        let mut need = bytes as f64;
+        while need > 0.0 {
+            let wait;
+            {
+                let mut state = self.state.lock().unwrap();
+                let (ref mut tokens, ref mut last) = *state;
+                let now = Instant::now();
+                *tokens =
+                    (*tokens + now.duration_since(*last).as_secs_f64() * self.rate).min(self.burst);
+                *last = now;
+                let grab = need.min(*tokens);
+                *tokens -= grab;
+                need -= grab;
+                if need <= 0.0 {
+                    return;
+                }
+                wait = Duration::from_secs_f64(need.min(self.burst) / self.rate);
+            }
+            std::thread::sleep(wait);
+        }
+    }
+}
 
 /// A slice (or partial slice) in flight between two pipeline stages.
 #[derive(Debug, Clone, Default)]
@@ -246,10 +302,14 @@ pub trait Transport: Send + Sync {
 
 struct ChannelTx {
     inner: Sender<SliceMsg>,
+    bucket: Option<Arc<TokenBucket>>,
 }
 
 impl SliceTx for ChannelTx {
     fn send(&self, msg: SliceMsg) -> Result<(), TransportError> {
+        if let Some(bucket) = &self.bucket {
+            bucket.take(msg.data.len());
+        }
         self.inner
             .send(msg)
             .map_err(|_| TransportError::Disconnected)
@@ -266,10 +326,12 @@ impl SliceRx for ChannelRx {
     }
 }
 
-/// The in-process backend: each link is a bounded MPMC channel.
+/// The in-process backend: each link is a bounded MPMC channel, optionally
+/// throttled by a per-link token bucket.
 #[derive(Default)]
 pub struct ChannelTransport {
     stats: StatsRegistry,
+    rate_limit: Option<u64>,
 }
 
 impl ChannelTransport {
@@ -277,15 +339,28 @@ impl ChannelTransport {
     pub fn new() -> Self {
         ChannelTransport::default()
     }
+
+    /// Creates a transport where every link is throttled to `bytes_per_sec`
+    /// by a token bucket, simulating bandwidth-limited links without
+    /// sockets. Useful for measuring scheduling effects (e.g. concurrent
+    /// versus sequential full-node recovery) where the repair is
+    /// network-bound rather than CPU-bound.
+    pub fn with_rate_limit(bytes_per_sec: u64) -> Self {
+        ChannelTransport {
+            stats: StatsRegistry::default(),
+            rate_limit: Some(bytes_per_sec),
+        }
+    }
 }
 
 impl Transport for ChannelTransport {
     fn link(&self, src: NodeId, dst: NodeId, capacity: usize) -> (SliceSender, SliceReceiver) {
         let stats = self.stats.register(src, dst);
         let (tx, rx) = bounded(capacity.max(1));
+        let bucket = self.rate_limit.map(|rate| Arc::new(TokenBucket::new(rate)));
         (
             SliceSender {
-                inner: Box::new(ChannelTx { inner: tx }),
+                inner: Box::new(ChannelTx { inner: tx, bucket }),
                 stats,
             },
             SliceReceiver {
@@ -354,6 +429,36 @@ mod tests {
         let (tx, rx) = transport.link(0, 1, 1);
         drop(tx);
         assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn token_bucket_enforces_rate() {
+        let bucket = TokenBucket::new(1_000_000); // 1 MB/s, 20 KB burst
+        let start = Instant::now();
+        bucket.take(120_000);
+        // 120 KB minus the initial burst at 1 MB/s needs >= ~100 ms.
+        assert!(start.elapsed() >= Duration::from_millis(90));
+    }
+
+    #[test]
+    fn throttled_channel_link_paces_traffic() {
+        let transport = ChannelTransport::with_rate_limit(1_000_000);
+        let (tx, rx) = transport.link(0, 1, 64);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                for j in 0..8 {
+                    tx.send(SliceMsg::new(j, Bytes::from(vec![0u8; 16 * 1024])))
+                        .unwrap();
+                }
+            });
+            for _ in 0..8 {
+                rx.recv().unwrap();
+            }
+        });
+        // 128 KB at 1 MB/s needs >= ~100 ms even after the initial burst.
+        assert!(start.elapsed() >= Duration::from_millis(90));
+        assert_eq!(transport.link_bytes(0, 1), 8 * 16 * 1024);
     }
 
     #[test]

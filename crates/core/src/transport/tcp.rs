@@ -44,12 +44,12 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use simnet::NodeId;
 
 use super::{
-    SliceMsg, SliceReceiver, SliceRx, SliceSender, SliceTx, StatsRegistry, Transport,
+    SliceMsg, SliceReceiver, SliceRx, SliceSender, SliceTx, StatsRegistry, TokenBucket, Transport,
     TransportError,
 };
 
@@ -230,54 +230,6 @@ impl Shared {
             if let Some(link) = links.get(&id) {
                 link.close_sender();
             }
-        }
-    }
-}
-
-/// A token bucket limiting one link to `rate` bytes per second.
-struct TokenBucket {
-    rate: f64,
-    burst: f64,
-    state: Mutex<(f64, Instant)>,
-}
-
-impl TokenBucket {
-    fn new(rate: u64) -> Self {
-        let rate = rate.max(1) as f64;
-        // A small burst keeps the shaping fine-grained: the bucket never
-        // banks more than ~2 ms of line rate while a link is idle (min
-        // 2 KiB so tiny rates make progress). It also starts empty, so
-        // every byte pays the line rate from the first slice on — both
-        // choices keep measured repair times close to the store-and-forward
-        // timing model of §3.2 instead of letting idle links run ahead.
-        let burst = (rate / 500.0).max(2048.0);
-        TokenBucket {
-            rate,
-            burst,
-            state: Mutex::new((0.0, Instant::now())),
-        }
-    }
-
-    fn take(&self, bytes: usize) {
-        let mut need = bytes as f64;
-        while need > 0.0 {
-            let wait;
-            {
-                let mut state = self.state.lock().unwrap();
-                let (ref mut tokens, ref mut last) = *state;
-                let now = Instant::now();
-                *tokens =
-                    (*tokens + now.duration_since(*last).as_secs_f64() * self.rate).min(self.burst);
-                *last = now;
-                let grab = need.min(*tokens);
-                *tokens -= grab;
-                need -= grab;
-                if need <= 0.0 {
-                    return;
-                }
-                wait = Duration::from_secs_f64(need.min(self.burst) / self.rate);
-            }
-            std::thread::sleep(wait);
         }
     }
 }
@@ -642,15 +594,6 @@ mod tests {
             tx.send(SliceMsg::new(0, Bytes::new())),
             Err(TransportError::Disconnected)
         ));
-    }
-
-    #[test]
-    fn token_bucket_enforces_rate() {
-        let bucket = TokenBucket::new(1_000_000); // 1 MB/s, 20 KB burst
-        let start = Instant::now();
-        bucket.take(120_000);
-        // 120 KB minus the initial burst at 1 MB/s needs >= ~100 ms.
-        assert!(start.elapsed() >= Duration::from_millis(90));
     }
 
     #[test]

@@ -137,7 +137,8 @@ pub fn full_node_recovery_rate(
             RepairVariant::RepairPipeliningEcPipe => HelperSelection::Greedy,
             _ => HelperSelection::LowestIndex,
         },
-    );
+    )
+    .expect("the generated recovery scenario always has enough helpers");
     let schedule = match variant {
         RepairVariant::RepairPipeliningEcPipe => {
             fullnode::build_recovery_schedule(&jobs, rp::schedule)

@@ -9,11 +9,51 @@
 //! (found with quickselect in `O(n)` time). The reconstructed blocks are
 //! spread over a configurable set of requestors.
 
+use std::fmt;
+
 use simnet::{NodeId, Schedule};
 
 use ecc::slice::SliceLayout;
 
 use crate::SingleRepairJob;
+
+/// Why a full-node recovery could not be planned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryPlanError {
+    /// No requestors were supplied, so the reconstructed blocks have nowhere
+    /// to go.
+    NoRequestors,
+    /// A stripe has fewer candidate helpers (available nodes outside the
+    /// requestor chosen for it) than the `k` the code needs.
+    TooFewHelpers {
+        /// Index of the offending stripe in the input slice.
+        stripe: usize,
+        /// How many candidate helpers the stripe has.
+        available: usize,
+        /// How many helpers the repair needs (`k`).
+        needed: usize,
+    },
+}
+
+impl fmt::Display for RecoveryPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryPlanError::NoRequestors => {
+                write!(f, "at least one requestor is required")
+            }
+            RecoveryPlanError::TooFewHelpers {
+                stripe,
+                available,
+                needed,
+            } => write!(
+                f,
+                "stripe {stripe} has only {available} candidate helpers, need {needed}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryPlanError {}
 
 /// One stripe affected by the node failure: the nodes holding its surviving
 /// blocks.
@@ -37,18 +77,22 @@ pub enum HelperSelection {
 /// according to `selection` and spreading the reconstructed blocks evenly
 /// over `requestors` (round-robin).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `requestors` is empty or a stripe has fewer than `k` available
-/// nodes outside the requestor chosen for it.
+/// Returns [`RecoveryPlanError::NoRequestors`] when `requestors` is empty and
+/// [`RecoveryPlanError::TooFewHelpers`] when a stripe has fewer than `k`
+/// available nodes outside the requestor chosen for it (mirroring how the
+/// `ecpipe` recovery path reports invalid requests instead of panicking).
 pub fn plan_recovery(
     stripes: &[AffectedStripe],
     k: usize,
     requestors: &[NodeId],
     layout: SliceLayout,
     selection: HelperSelection,
-) -> Vec<SingleRepairJob> {
-    assert!(!requestors.is_empty(), "at least one requestor required");
+) -> Result<Vec<SingleRepairJob>, RecoveryPlanError> {
+    if requestors.is_empty() {
+        return Err(RecoveryPlanError::NoRequestors);
+    }
     // Logical clock of the last time each node was selected as a helper.
     let mut last_selected: std::collections::HashMap<NodeId, u64> =
         std::collections::HashMap::new();
@@ -65,11 +109,13 @@ pub fn plan_recovery(
                 .copied()
                 .filter(|&n| n != requestor)
                 .collect();
-            assert!(
-                candidates.len() >= k,
-                "stripe {i} has only {} candidate helpers, need {k}",
-                candidates.len()
-            );
+            if candidates.len() < k {
+                return Err(RecoveryPlanError::TooFewHelpers {
+                    stripe: i,
+                    available: candidates.len(),
+                    needed: k,
+                });
+            }
             let mut helpers = match selection {
                 HelperSelection::LowestIndex => {
                     let mut sorted = candidates.clone();
@@ -96,7 +142,7 @@ pub fn plan_recovery(
             // that delivers to the requestor) is spread over different nodes
             // instead of always being the highest-index helper.
             helpers.rotate_left(i % k);
-            SingleRepairJob::new(helpers, requestor, layout)
+            Ok(SingleRepairJob::new(helpers, requestor, layout))
         })
         .collect()
 }
@@ -231,8 +277,9 @@ mod tests {
     fn greedy_spreads_helper_load() {
         let stripes = affected_stripes(64, 14);
         let layout = SliceLayout::new(MIB, 256 * 1024);
-        let greedy = plan_recovery(&stripes, 10, &[100], layout, HelperSelection::Greedy);
-        let naive = plan_recovery(&stripes, 10, &[100], layout, HelperSelection::LowestIndex);
+        let greedy = plan_recovery(&stripes, 10, &[100], layout, HelperSelection::Greedy).unwrap();
+        let naive =
+            plan_recovery(&stripes, 10, &[100], layout, HelperSelection::LowestIndex).unwrap();
 
         let load = |jobs: &[SingleRepairJob]| -> usize {
             let mut counts: std::collections::HashMap<NodeId, usize> = Default::default();
@@ -250,7 +297,8 @@ mod tests {
     fn requestors_are_assigned_round_robin() {
         let stripes = affected_stripes(8, 14);
         let layout = SliceLayout::new(MIB, 256 * 1024);
-        let jobs = plan_recovery(&stripes, 10, &[100, 101], layout, HelperSelection::Greedy);
+        let jobs =
+            plan_recovery(&stripes, 10, &[100, 101], layout, HelperSelection::Greedy).unwrap();
         let to_100 = jobs.iter().filter(|j| j.requestor == 100).count();
         let to_101 = jobs.iter().filter(|j| j.requestor == 101).count();
         assert_eq!(to_100, 4);
@@ -264,7 +312,8 @@ mod tests {
         let sim = Simulator::new(Topology::flat(120, GBIT), CostModel::network_only());
 
         let rate_for = |requestors: &[NodeId]| {
-            let jobs = plan_recovery(&stripes, 10, requestors, layout, HelperSelection::Greedy);
+            let jobs =
+                plan_recovery(&stripes, 10, requestors, layout, HelperSelection::Greedy).unwrap();
             let schedule = build_recovery_schedule(&jobs, crate::rp::schedule);
             let report = sim.run(&schedule);
             recovery_rate(&jobs, report.makespan)
@@ -282,7 +331,7 @@ mod tests {
         let requestors: Vec<NodeId> = (100..116).collect();
 
         let rate_for = |selection: HelperSelection| {
-            let jobs = plan_recovery(&stripes, 10, &requestors, layout, selection);
+            let jobs = plan_recovery(&stripes, 10, &requestors, layout, selection).unwrap();
             let schedule = build_recovery_schedule(&jobs, crate::rp::schedule);
             let report = sim.run(&schedule);
             recovery_rate(&jobs, report.makespan)
@@ -296,15 +345,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one requestor required")]
-    fn empty_requestors_panics() {
+    fn empty_requestors_is_an_error() {
         let stripes = affected_stripes(1, 14);
-        plan_recovery(
+        let err = plan_recovery(
             &stripes,
             10,
             &[],
             SliceLayout::new(MIB, MIB),
             HelperSelection::Greedy,
+        )
+        .unwrap_err();
+        assert_eq!(err, RecoveryPlanError::NoRequestors);
+        assert!(err.to_string().contains("requestor"));
+    }
+
+    #[test]
+    fn too_few_helpers_is_an_error() {
+        // A stripe whose only available nodes cannot cover k = 10 helpers
+        // once the requestor is excluded.
+        let stripes = vec![AffectedStripe {
+            available_nodes: (1..=10).collect(),
+        }];
+        let err = plan_recovery(
+            &stripes,
+            10,
+            &[10], // requestor overlaps an available node, leaving 9 < 10
+            SliceLayout::new(MIB, MIB),
+            HelperSelection::Greedy,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RecoveryPlanError::TooFewHelpers {
+                stripe: 0,
+                available: 9,
+                needed: 10,
+            }
         );
+        assert!(err.to_string().contains("candidate helpers"));
     }
 }

@@ -95,7 +95,8 @@ fn main() {
             HelperSelection::LowestIndex,
         ),
     ] {
-        let jobs = plan_recovery(&stripes, 10, &requestors, sim_layout, selection);
+        let jobs =
+            plan_recovery(&stripes, 10, &requestors, sim_layout, selection).expect("recovery plan");
         let schedule = build_recovery_schedule(&jobs, rp::schedule);
         let rate = recovery_rate(&jobs, sim.run(&schedule).makespan);
         println!("  {label}: {:.1} MiB/s", rate / (1024.0 * 1024.0));

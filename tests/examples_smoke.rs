@@ -44,3 +44,8 @@ fn geo_repair_runs() {
 fn tcp_repair_runs() {
     run_example("tcp_repair");
 }
+
+#[test]
+fn repair_daemon_runs() {
+    run_example("repair_daemon");
+}
