@@ -16,6 +16,7 @@ use simnet::NodeId;
 
 use crate::coordinator::SelectionPolicy;
 use crate::exec::{self, ExecStrategy};
+use crate::integrity::ChecksummedStore;
 use crate::store::{BlockStore, MemoryStore};
 use crate::transport::{ChannelTransport, Transport};
 use crate::{Coordinator, EcPipeError, Result};
@@ -32,6 +33,19 @@ impl Cluster {
         Cluster {
             stores: (0..nodes)
                 .map(|_| Arc::new(MemoryStore::new()) as Arc<dyn BlockStore>)
+                .collect(),
+            placements: HashMap::new(),
+        }
+    }
+
+    /// Creates a cluster of `nodes` in-memory storage nodes whose stores
+    /// verify per-chunk CRC-32 checksums on every read
+    /// ([`ChecksummedStore`] over [`MemoryStore`]), so injected corruption
+    /// ([`Cluster::corrupt_block`]) is detectable by reads and scrubbing.
+    pub fn in_memory_checksummed(nodes: usize) -> Self {
+        Cluster {
+            stores: (0..nodes)
+                .map(|_| Arc::new(ChecksummedStore::new(MemoryStore::new())) as Arc<dyn BlockStore>)
                 .collect(),
             placements: HashMap::new(),
         }
@@ -128,6 +142,29 @@ impl Cluster {
         self.stores[node]
             .delete(BlockId { stripe, index })
             .unwrap_or(false)
+    }
+
+    /// Flips the byte at `offset` of one stored block without touching its
+    /// integrity metadata (simulating silent bit-rot; see
+    /// [`BlockStore::corrupt`]). On a checksummed store the corruption is
+    /// detected by the next read or scrub; on a plain store it silently
+    /// poisons whatever reads the block — which is exactly the failure mode
+    /// the integrity layer exists to close.
+    pub fn corrupt_block(&self, stripe: StripeId, index: usize, offset: usize) -> Result<()> {
+        let placement = self
+            .placements
+            .get(&stripe)
+            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?;
+        self.stores[placement[index]].corrupt(BlockId { stripe, index }, offset)
+    }
+
+    /// Verifies one block's integrity on the node its placement maps it to.
+    pub fn verify_block(&self, stripe: StripeId, index: usize) -> Result<()> {
+        let placement = self
+            .placements
+            .get(&stripe)
+            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?;
+        self.stores[placement[index]].verify(BlockId { stripe, index })
     }
 
     /// Deletes every block stored on a node (simulating a full node failure).
@@ -248,6 +285,35 @@ mod tests {
         let node = cluster.placement(stripe).unwrap()[2];
         let erased = cluster.kill_node(node);
         assert!(erased.contains(&BlockId { stripe, index: 2 }));
+    }
+
+    #[test]
+    fn checksummed_cluster_detects_injected_corruption() {
+        let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
+        let mut coordinator = Coordinator::new(code, SliceLayout::new(4096, 512));
+        let mut cluster = Cluster::in_memory_checksummed(8);
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![(i * 11 + 1) as u8; 4096]).collect();
+        let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
+        assert!(cluster.verify_block(stripe, 2).is_ok());
+        cluster.corrupt_block(stripe, 2, 777).unwrap();
+        assert!(matches!(
+            cluster.verify_block(stripe, 2),
+            Err(EcPipeError::CorruptBlock { .. })
+        ));
+        assert!(cluster.read_block(stripe, 2).is_err());
+        assert!(cluster.corrupt_block(StripeId(9), 0, 0).is_err());
+        // Repairing through the cluster overwrites the rot and re-checksums.
+        let repaired = cluster
+            .repair(
+                &mut coordinator,
+                stripe,
+                2,
+                cluster.placement(stripe).unwrap()[2],
+                ExecStrategy::RepairPipelining,
+            )
+            .unwrap();
+        assert_eq!(repaired, data[2]);
+        assert!(cluster.verify_block(stripe, 2).is_ok());
     }
 
     #[test]

@@ -12,6 +12,15 @@ pub enum EcPipeError {
         /// The missing block.
         block: BlockId,
     },
+    /// A stored block failed checksum verification: the bytes on the node no
+    /// longer match the checksums recorded when the block was written
+    /// (silent bit-rot, a torn write, or an injected corruption).
+    CorruptBlock {
+        /// The corrupt block.
+        block: BlockId,
+        /// Index of the first checksum chunk that failed verification.
+        chunk: usize,
+    },
     /// The coordinator has no metadata for the requested stripe.
     UnknownStripe {
         /// The stripe id that was requested.
@@ -40,6 +49,12 @@ impl fmt::Display for EcPipeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EcPipeError::BlockNotFound { block } => write!(f, "block {block} not found"),
+            EcPipeError::CorruptBlock { block, chunk } => {
+                write!(
+                    f,
+                    "block {block} failed checksum verification at chunk {chunk}"
+                )
+            }
             EcPipeError::UnknownStripe { stripe } => write!(f, "unknown stripe {stripe}"),
             EcPipeError::Planning(e) => write!(f, "repair planning failed: {e}"),
             EcPipeError::Io(e) => write!(f, "block store I/O error: {e}"),

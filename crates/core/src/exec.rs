@@ -143,13 +143,26 @@ fn run_pipeline<T: Transport + ?Sized>(
         // The requestor assembles the repaired block.
         let rx = prev_rx.expect("path has at least one helper");
         let mut out = vec![0u8; layout.block_size];
+        let mut stalled = false;
         for _ in 0..slices {
-            let msg = rx
-                .recv()
-                .ok_or_else(|| execution_error("pipeline ended before the block was complete"))?;
-            out[layout.slice_range(msg.index)].copy_from_slice(&msg.data);
+            match rx.recv() {
+                Some(msg) => out[layout.slice_range(msg.index)].copy_from_slice(&msg.data),
+                None => {
+                    stalled = true;
+                    break;
+                }
+            }
         }
+        drop(rx);
+        // Join the helpers before reporting a stall: a helper that failed a
+        // local read (a vanished or checksum-corrupt block) carries the
+        // specific error; the requestor only saw the stream end early.
         join_all(handles)?;
+        if stalled {
+            return Err(execution_error(
+                "pipeline ended before the block was complete",
+            ));
+        }
         Ok(out)
     })
 }
@@ -181,11 +194,15 @@ fn run_conventional<T: Transport + ?Sized>(
         }
 
         let mut out = vec![0u8; layout.block_size];
-        for (rx, coeff) in receivers {
+        let mut stalled = false;
+        'links: for (rx, coeff) in receivers {
             for _ in 0..slices {
-                let msg = rx
-                    .recv()
-                    .ok_or_else(|| execution_error("helper stopped before sending its block"))?;
+                let Some(msg) = rx.recv() else {
+                    stalled = true;
+                    // Breaking drops the remaining receivers, so the other
+                    // helpers fail their sends and terminate.
+                    break 'links;
+                };
                 gf256::mul_add_slice(
                     Gf256::new(coeff),
                     &msg.data,
@@ -194,6 +211,9 @@ fn run_conventional<T: Transport + ?Sized>(
             }
         }
         join_all(handles)?;
+        if stalled {
+            return Err(execution_error("helper stopped before sending its block"));
+        }
         Ok(out)
     })
 }
@@ -392,25 +412,57 @@ pub fn execute_multi<T: Transport + ?Sized>(
 
         // Collect each requestor's block.
         let mut outputs = vec![vec![0u8; layout.block_size]; f];
-        for (row, rx) in delivery_receivers.into_iter().enumerate() {
+        let mut stalled = false;
+        'rows: for (row, rx) in delivery_receivers.into_iter().enumerate() {
             for _ in 0..slices {
-                let msg = rx
-                    .recv()
-                    .ok_or_else(|| execution_error("delivery ended before block was complete"))?;
+                let Some(msg) = rx.recv() else {
+                    stalled = true;
+                    break 'rows;
+                };
                 outputs[row][layout.slice_range(msg.index)].copy_from_slice(&msg.data);
             }
         }
         join_all(handles)?;
+        if stalled {
+            return Err(execution_error("delivery ended before block was complete"));
+        }
         Ok(outputs)
     })
 }
 
+/// Joins every helper thread. When several failed, the most *specific* error
+/// wins: a local-read failure (a corrupt or vanished block) explains the
+/// repair's failure, while `Execution` errors are usually just the
+/// downstream echo of that same event ("peer gone", "upstream stopped
+/// early"). The manager relies on this to re-plan around the actual culprit
+/// instead of seeing a generic stream failure.
 fn join_all(handles: Vec<std::thread::ScopedJoinHandle<'_, Result<()>>>) -> Result<()> {
-    for h in handles {
-        h.join()
-            .map_err(|_| execution_error("worker thread panicked"))??;
+    fn specificity(e: &EcPipeError) -> u8 {
+        match e {
+            EcPipeError::CorruptBlock { .. } | EcPipeError::BlockNotFound { .. } => 2,
+            EcPipeError::Execution { .. } => 0,
+            _ => 1,
+        }
     }
-    Ok(())
+    let mut worst: Option<EcPipeError> = None;
+    for h in handles {
+        let outcome = match h.join() {
+            Ok(result) => result,
+            Err(_) => Err(execution_error("worker thread panicked")),
+        };
+        if let Err(e) = outcome {
+            if worst
+                .as_ref()
+                .is_none_or(|w| specificity(&e) > specificity(w))
+            {
+                worst = Some(e);
+            }
+        }
+    }
+    match worst {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 #[cfg(test)]

@@ -26,13 +26,23 @@
 //! demonstrates the data path and provides throughput microbenches.
 //!
 //! On top of the executors sits the [`manager`] subsystem: a prioritized
-//! repair queue (degraded reads preempt background recovery), a bounded
-//! worker pool that runs many single-stripe repairs concurrently, per-node
-//! in-flight admission caps enforcing the §3.3 scheduling at runtime, a
-//! liveness view fed by repair outcomes (a node that keeps failing its
-//! helper reads is declared dead and its stripes auto-enqueued), and a
-//! structured [`ManagerReport`]. [`recovery::full_node_recovery_over`] is a
-//! thin sequential wrapper over the same engine.
+//! repair queue (degraded reads preempt corruption repairs, which preempt
+//! background recovery), a bounded worker pool that runs many single-stripe
+//! repairs concurrently, per-node in-flight admission caps enforcing the
+//! §3.3 scheduling at runtime, a liveness view fed by repair outcomes (a
+//! node that keeps failing its helper reads is declared dead and its
+//! stripes auto-enqueued), a paced [scrubber](manager::Scrubber) that turns
+//! silent bit-rot into queued repairs, and a structured [`ManagerReport`].
+//! [`recovery::full_node_recovery_over`] is a thin sequential wrapper over
+//! the same engine.
+//!
+//! The [`integrity`] module supplies the detection layer the scrubber and
+//! the helpers rely on: [`ChecksummedStore`] pairs every block with
+//! per-chunk CRC-32 checksums (persisted as `.crc` sidecars for
+//! [`FileStore`] nodes), verifies every read — slice reads check only the
+//! chunks they overlap — and surfaces rot as
+//! [`EcPipeError::CorruptBlock`], which fails a repair stream cleanly
+//! instead of letting poisoned bytes into the GF(2^8) combination.
 //!
 //! # Examples
 //!
@@ -65,6 +75,7 @@ mod cluster;
 mod coordinator;
 mod error;
 pub mod exec;
+pub mod integrity;
 pub mod manager;
 pub mod recovery;
 mod store;
@@ -76,8 +87,10 @@ pub use coordinator::{
 };
 pub use error::EcPipeError;
 pub use exec::ExecStrategy;
+pub use integrity::{BlockChecksums, ChecksummedStore, DEFAULT_CHUNK_SIZE};
 pub use manager::{
     ManagerConfig, ManagerReport, NodeHealth, RepairManager, RepairPriority, RepairRequest,
+    ScrubConfig, ScrubCycle, Scrubber,
 };
 pub use store::{BlockStore, FileStore, MemoryStore};
 pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use ecc::stripe::StripeId;
+use ecc::stripe::{BlockId, StripeId};
 use simnet::NodeId;
 
 use super::queue::RepairPriority;
@@ -85,6 +85,28 @@ pub struct FailedRepair {
     pub replans: usize,
 }
 
+/// What one scrub cycle over the cluster's stores found and fixed.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubCycle {
+    /// Blocks whose checksums were verified this cycle.
+    pub blocks_scanned: usize,
+    /// Bytes read and verified this cycle (what the pacing rate meters).
+    pub bytes_scanned: u64,
+    /// Blocks that failed verification, in scan order.
+    pub corrupt: Vec<BlockId>,
+    /// Corruption-class repairs this cycle enqueued (corrupt blocks already
+    /// queued or in flight are not double-counted).
+    pub repairs_enqueued: usize,
+    /// Corrupt blocks that verified clean when re-checked after their
+    /// repair.
+    pub reverified_clean: usize,
+    /// Corrupt blocks that still failed verification after the cycle's
+    /// repairs drained — data the operator must treat as at risk.
+    pub still_corrupt: Vec<BlockId>,
+    /// Wall time of the cycle, including the wait for enqueued repairs.
+    pub duration: Duration,
+}
+
 /// A structured report of everything a manager run did.
 #[derive(Debug, Clone, Default)]
 pub struct ManagerReport {
@@ -107,6 +129,9 @@ pub struct ManagerReport {
     pub peak_inflight: HashMap<NodeId, usize>,
     /// Queue-wait statistics for degraded reads.
     pub degraded_wait: WaitStats,
+    /// Queue-wait statistics for corruption repairs (scrub finds and failed
+    /// helper reads).
+    pub corruption_wait: WaitStats,
     /// Queue-wait statistics for background repairs.
     pub background_wait: WaitStats,
     /// Total re-plans across all repairs (helpers lost mid-flight).
@@ -119,6 +144,8 @@ pub struct ManagerReport {
     /// The repairs behind `failed_repairs`, with the block identity and the
     /// final error.
     pub failures: Vec<FailedRepair>,
+    /// One entry per completed scrub cycle, in completion order.
+    pub scrub_cycles: Vec<ScrubCycle>,
 }
 
 impl ManagerReport {
@@ -130,6 +157,16 @@ impl ManagerReport {
     /// The heaviest per-node load (repairs served) in the histogram.
     pub fn max_node_load(&self) -> usize {
         self.node_load.values().copied().max().unwrap_or(0)
+    }
+
+    /// Blocks verified across all scrub cycles.
+    pub fn blocks_scrubbed(&self) -> usize {
+        self.scrub_cycles.iter().map(|c| c.blocks_scanned).sum()
+    }
+
+    /// Corrupt blocks detected across all scrub cycles.
+    pub fn corruption_detected(&self) -> usize {
+        self.scrub_cycles.iter().map(|c| c.corrupt.len()).sum()
     }
 }
 
@@ -194,6 +231,7 @@ impl MetricsCollector {
         }
         match priority {
             RepairPriority::DegradedRead => report.degraded_wait.record(queue_wait),
+            RepairPriority::Corruption => report.corruption_wait.record(queue_wait),
             RepairPriority::Background => report.background_wait.record(queue_wait),
         }
         report.replans += replans;
@@ -218,6 +256,11 @@ impl MetricsCollector {
         inner.report.failed_repairs += 1;
         inner.report.replans += failure.replans;
         inner.report.failures.push(failure);
+    }
+
+    /// Folds a finished scrub cycle into the report.
+    pub(crate) fn record_scrub_cycle(&self, cycle: ScrubCycle) {
+        self.inner.lock().unwrap().report.scrub_cycles.push(cycle);
     }
 
     /// Snapshots the report, stamping wall time and network bytes.
@@ -275,8 +318,21 @@ mod tests {
             error: "too many failures".to_string(),
             replans: 2,
         });
+        m.record_scrub_cycle(ScrubCycle {
+            blocks_scanned: 60,
+            bytes_scanned: 60 * 1024,
+            corrupt: vec![BlockId::new(4, 2)],
+            repairs_enqueued: 1,
+            reverified_clean: 1,
+            still_corrupt: Vec::new(),
+            duration: Duration::from_millis(3),
+        });
         let report = m.report(Duration::from_millis(40), 4096);
         assert_eq!(report.blocks_repaired, 2);
+        assert_eq!(report.scrub_cycles.len(), 1);
+        assert_eq!(report.blocks_scrubbed(), 60);
+        assert_eq!(report.corruption_detected(), 1);
+        assert_eq!(report.corruption_wait.count, 0);
         assert_eq!(report.bytes_repaired, 2048);
         assert_eq!(report.replans, 3);
         assert_eq!(report.failed_repairs, 1);

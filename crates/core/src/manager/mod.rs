@@ -8,7 +8,8 @@
 //! [`Coordinator`]) and the executors ([`exec`](crate::exec)):
 //!
 //! * a prioritized repair queue — degraded reads
-//!   ([`RepairPriority::DegradedRead`]) preempt background full-node
+//!   ([`RepairPriority::DegradedRead`]) preempt corruption repairs
+//!   ([`RepairPriority::Corruption`]), which preempt background full-node
 //!   recovery;
 //! * a bounded worker pool executing many single-stripe repairs
 //!   concurrently, generic over [`Transport`];
@@ -21,9 +22,14 @@
 //!   declared dead and its remaining stripes are auto-enqueued — with
 //!   mid-flight re-planning around the lost block (generalizing
 //!   [`degraded_read_with_retry`](crate::recovery::degraded_read_with_retry));
+//! * a [scrubber](Scrubber) that walks the cluster's stores at a paced rate,
+//!   verifies block checksums (see [`ChecksummedStore`](crate::ChecksummedStore)),
+//!   enqueues corrupt blocks as in-place [`RepairPriority::Corruption`]
+//!   repairs and re-verifies them once repaired — bit-rot handled as a
+//!   first-class failure class next to deletes and node death;
 //! * a structured [`ManagerReport`]: per-node load histogram, peak
 //!   in-flight roles, queue latencies per priority class, per-repair
-//!   outcomes, wall time and network bytes.
+//!   outcomes, scrub-cycle summaries, wall time and network bytes.
 //!
 //! Two entry points share the same engine. [`run_batch`] executes a fixed
 //! set of requests to completion on scoped worker threads (this is what
@@ -36,11 +42,13 @@
 mod liveness;
 mod metrics;
 mod queue;
+mod scrub;
 mod workers;
 
 pub use liveness::NodeHealth;
-pub use metrics::{FailedRepair, ManagerReport, RepairOutcome, WaitStats};
+pub use metrics::{FailedRepair, ManagerReport, RepairOutcome, ScrubCycle, WaitStats};
 pub use queue::{RepairPriority, RepairRequest};
+pub use scrub::{ScrubConfig, Scrubber};
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -362,6 +370,41 @@ impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
     /// The transport the manager executes over (e.g. for byte accounting).
     pub fn transport(&self) -> &T {
         &self.shared.transport
+    }
+
+    /// Runs one synchronous scrub cycle: walks every live node's blocks
+    /// (paced at [`ScrubConfig::rate`]), verifies them, enqueues each
+    /// corrupt block as a [`RepairPriority::Corruption`] repair back onto
+    /// the node serving the rot, waits for those repairs to drain and
+    /// re-verifies. The cycle is also folded into the shutdown report's
+    /// [`scrub_cycles`](ManagerReport::scrub_cycles).
+    pub fn scrub(&self, config: &ScrubConfig) -> ScrubCycle {
+        scrub::scrub_once(
+            &self.shared.engine,
+            &self.shared.coordinator,
+            &self.shared.cluster,
+            config,
+            None,
+        )
+    }
+
+    /// Starts a background scrubber thread running [`scrub`](Self::scrub)
+    /// cycles every [`ScrubConfig::interval`]. Stop it (or drop the handle)
+    /// before [`shutdown`](Self::shutdown); cycles that race a shutdown are
+    /// harmless — their repairs are refused by the closing queue and show up
+    /// as `still_corrupt` in the final cycle.
+    pub fn start_scrubber(&self, config: ScrubConfig) -> Scrubber {
+        let shared = self.shared.clone();
+        let interval = config.interval;
+        Scrubber::spawn("scrubber", interval, move |stop| {
+            scrub::scrub_once(
+                &shared.engine,
+                &shared.coordinator,
+                &shared.cluster,
+                &config,
+                Some(stop),
+            );
+        })
     }
 
     /// Graceful shutdown: stops accepting work, drains the queue, joins the

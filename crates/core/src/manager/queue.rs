@@ -17,8 +17,13 @@ use simnet::NodeId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum RepairPriority {
     /// A degraded read: a client is waiting for this block (§3.2). Pops
-    /// before any queued background work.
+    /// before any queued corruption or background work.
     DegradedRead,
+    /// A corruption repair: a scrubber (or a failed helper read) caught a
+    /// block whose bytes no longer match their checksums. Nobody is blocked
+    /// on it, but the stripe is one failure closer to data loss than the
+    /// metadata believes, so it pops before routine background recovery.
+    Corruption,
     /// Background single-stripe repair, typically part of a full-node
     /// recovery (§3.3).
     Background,
@@ -29,6 +34,7 @@ impl RepairPriority {
     pub fn label(&self) -> &'static str {
         match self {
             RepairPriority::DegradedRead => "degraded-read",
+            RepairPriority::Corruption => "corruption",
             RepairPriority::Background => "background",
         }
     }
@@ -58,6 +64,7 @@ pub(crate) struct QueuedRepair {
 #[derive(Default)]
 struct QueueInner {
     degraded: VecDeque<QueuedRepair>,
+    corruption: VecDeque<QueuedRepair>,
     background: VecDeque<QueuedRepair>,
     closed: bool,
 }
@@ -89,6 +96,7 @@ impl RepairQueue {
         };
         match queued.request.priority {
             RepairPriority::DegradedRead => inner.degraded.push_back(queued),
+            RepairPriority::Corruption => inner.corruption.push_back(queued),
             RepairPriority::Background => inner.background.push_back(queued),
         }
         drop(inner);
@@ -102,6 +110,9 @@ impl RepairQueue {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(job) = inner.degraded.pop_front() {
+                return Some(job);
+            }
+            if let Some(job) = inner.corruption.pop_front() {
                 return Some(job);
             }
             if let Some(job) = inner.background.pop_front() {
@@ -124,7 +135,7 @@ impl RepairQueue {
     /// Number of requests currently waiting (not counting in-flight work).
     pub(crate) fn len(&self) -> usize {
         let inner = self.inner.lock().unwrap();
-        inner.degraded.len() + inner.background.len()
+        inner.degraded.len() + inner.corruption.len() + inner.background.len()
     }
 }
 
@@ -142,13 +153,15 @@ mod tests {
     }
 
     #[test]
-    fn degraded_reads_pop_before_background() {
+    fn degraded_reads_pop_before_corruption_before_background() {
         let q = RepairQueue::new();
         assert!(q.push(request(1, RepairPriority::Background)));
         assert!(q.push(request(2, RepairPriority::Background)));
+        assert!(q.push(request(4, RepairPriority::Corruption)));
         assert!(q.push(request(3, RepairPriority::DegradedRead)));
-        assert_eq!(q.len(), 3);
+        assert_eq!(q.len(), 4);
         assert_eq!(q.pop().unwrap().request.stripe, StripeId(3));
+        assert_eq!(q.pop().unwrap().request.stripe, StripeId(4));
         assert_eq!(q.pop().unwrap().request.stripe, StripeId(1));
         assert_eq!(q.pop().unwrap().request.stripe, StripeId(2));
     }

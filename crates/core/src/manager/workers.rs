@@ -231,6 +231,28 @@ impl EngineState {
         None
     }
 
+    /// Enqueues an in-place corruption repair: reconstruct `block` onto
+    /// `requestor` (normally the node serving the rotten copy, so the
+    /// repair overwrites it and refreshes its checksums) at
+    /// [`RepairPriority::Corruption`]. Returns whether the repair was newly
+    /// queued — `false` when it is already queued/in flight, the requestor
+    /// is dead, or the queue has closed (a fail-fast batch drains without
+    /// accepting side work).
+    pub(crate) fn submit_corruption(&self, block: BlockId, requestor: NodeId) -> bool {
+        if self.liveness.is_dead(requestor) {
+            return false;
+        }
+        matches!(
+            self.submit(RepairRequest {
+                stripe: block.stripe,
+                failed: block.index,
+                requestor,
+                priority: super::queue::RepairPriority::Corruption,
+            }),
+            Ok(true)
+        )
+    }
+
     /// Enqueues a background repair for every stripe still mapping a block
     /// to `node` (called when a node is declared dead). Returns how many
     /// repairs were queued.
@@ -479,6 +501,22 @@ where
                     directive.path.iter().find(|e| e.1.index == block.index)
                 {
                     strike(engine, coord, node);
+                }
+            }
+            Err(EcPipeError::CorruptBlock { block, .. })
+                if block.stripe == request.stripe && replans < config.max_replans =>
+            {
+                // A helper read a slice whose checksums no longer match:
+                // bit-rot, not node death. The stream failed cleanly before
+                // any poisoned partial could reach the requestor; re-plan
+                // around the rotten block — without a liveness strike, the
+                // node itself is healthy — and queue an in-place
+                // corruption-class repair to scrub the rot out.
+                replans += 1;
+                excluded.push(block.index);
+                let holder = coord.with(|c| c.stripe(block.stripe).map(|m| m.node_of(block.index)));
+                if let Ok(holder) = holder {
+                    engine.submit_corruption(block, holder);
                 }
             }
             Err(error @ EcPipeError::Execution { .. }) if replans < config.max_replans => {

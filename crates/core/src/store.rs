@@ -5,19 +5,45 @@
 //! HDFS-3 and QFS all keep a block as a plain file named after its block id,
 //! so a helper daemon can bypass the distributed-storage read routine; the
 //! [`FileStore`] mirrors that layout, and [`MemoryStore`] is the in-process
-//! equivalent used by tests and examples.
+//! equivalent used by tests and examples. Those systems also pair each
+//! block file with checksums — wrap any store in
+//! [`ChecksummedStore`](crate::ChecksummedStore) (see
+//! [`integrity`](crate::integrity)) to get the same verification on every
+//! read.
 
 use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use parking_lot::RwLock;
 
 use ecc::stripe::BlockId;
 
+use crate::integrity::ChecksummedStore;
 use crate::{EcPipeError, Result};
 
 /// A node-local store of erasure-coded blocks.
+///
+/// ```
+/// use bytes::Bytes;
+/// use ecc::stripe::BlockId;
+/// use ecpipe::{BlockStore, MemoryStore};
+///
+/// let store = MemoryStore::new();
+/// let block = BlockId::new(0, 2);
+/// store.put(block, Bytes::from_static(b"0123456789")).unwrap();
+/// assert!(store.contains(block));
+/// // Slice-granular read, as the helpers use during repairs.
+/// assert_eq!(
+///     store.get_range(block, 2..5).unwrap(),
+///     Bytes::from_static(b"234")
+/// );
+/// assert!(store.verify(block).is_ok());
+/// assert!(store.delete(block).unwrap());
+/// assert_eq!(store.list(), vec![]);
+/// ```
 pub trait BlockStore: Send + Sync {
     /// Reads a whole block.
     fn get(&self, block: BlockId) -> Result<Bytes>;
@@ -48,6 +74,43 @@ pub trait BlockStore: Send + Sync {
 
     /// The ids of all stored blocks.
     fn list(&self) -> Vec<BlockId>;
+
+    /// Verifies the integrity of a stored block. Stores without integrity
+    /// metadata can only check presence;
+    /// [`ChecksummedStore`](crate::ChecksummedStore) re-reads the block and
+    /// validates every chunk checksum, failing with
+    /// [`EcPipeError::CorruptBlock`]. This is what the manager's scrubber
+    /// calls as it walks a node.
+    fn verify(&self, block: BlockId) -> Result<()> {
+        if self.contains(block) {
+            Ok(())
+        } else {
+            Err(EcPipeError::BlockNotFound { block })
+        }
+    }
+
+    /// Flips the byte at `offset` of a stored block — the corruption
+    /// injection hook used by tests and benches to simulate silent bit-rot.
+    ///
+    /// The default implementation rewrites the block through
+    /// [`put`](BlockStore::put), which refreshes any integrity metadata the
+    /// store keeps (so on a plain store the rot is real but undetectable).
+    /// [`ChecksummedStore`](crate::ChecksummedStore) overrides it to leave
+    /// its recorded checksums stale, making the corruption *detectable*.
+    fn corrupt(&self, block: BlockId, offset: usize) -> Result<()> {
+        let data = self.get(block)?;
+        if offset >= data.len() {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!(
+                    "corruption offset {offset} out of bounds for block {block} of {} bytes",
+                    data.len()
+                ),
+            });
+        }
+        let mut bytes = data.to_vec();
+        bytes[offset] ^= 0xFF;
+        self.put(block, Bytes::from(bytes))
+    }
 }
 
 /// An in-memory block store.
@@ -98,6 +161,10 @@ impl BlockStore for MemoryStore {
 #[derive(Debug)]
 pub struct FileStore {
     dir: PathBuf,
+    /// Payload bytes read from disk so far (whole-block and range reads),
+    /// so tests can pin that slice reads do slice-sized — not block-sized —
+    /// I/O.
+    bytes_read: AtomicU64,
 }
 
 impl FileStore {
@@ -105,7 +172,24 @@ impl FileStore {
     pub fn open(dir: impl AsRef<Path>) -> Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
-        Ok(FileStore { dir })
+        Ok(FileStore {
+            dir,
+            bytes_read: AtomicU64::new(0),
+        })
+    }
+
+    /// Opens a file store whose blocks are paired with persisted `.crc`
+    /// checksum sidecars in the same directory (see
+    /// [`ChecksummedStore::persistent`]), mirroring how HDFS and QFS keep a
+    /// checksum file next to each block file.
+    pub fn open_checksummed(dir: impl AsRef<Path>) -> Result<ChecksummedStore<FileStore>> {
+        let dir = dir.as_ref();
+        ChecksummedStore::persistent(FileStore::open(dir)?, dir)
+    }
+
+    /// Total payload bytes this store has read from disk.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
     }
 
     fn path_of(&self, block: BlockId) -> PathBuf {
@@ -116,12 +200,40 @@ impl FileStore {
 impl BlockStore for FileStore {
     fn get(&self, block: BlockId) -> Result<Bytes> {
         match std::fs::read(self.path_of(block)) {
-            Ok(data) => Ok(Bytes::from(data)),
+            Ok(data) => {
+                self.bytes_read
+                    .fetch_add(data.len() as u64, Ordering::Relaxed);
+                Ok(Bytes::from(data))
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(EcPipeError::BlockNotFound { block })
             }
             Err(e) => Err(e.into()),
         }
+    }
+
+    /// Seek-based range read: only the requested bytes travel from disk,
+    /// rather than the whole block the default implementation would load.
+    fn get_range(&self, block: BlockId, range: std::ops::Range<usize>) -> Result<Bytes> {
+        let mut file = match std::fs::File::open(self.path_of(block)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(EcPipeError::BlockNotFound { block })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let len = file.metadata()?.len();
+        if range.end as u64 > len {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!("range {range:?} out of bounds for block {block} of {len} bytes"),
+            });
+        }
+        file.seek(SeekFrom::Start(range.start as u64))?;
+        let mut data = vec![0u8; range.len()];
+        file.read_exact(&mut data)?;
+        self.bytes_read
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(Bytes::from(data))
     }
 
     fn put(&self, block: BlockId, data: Bytes) -> Result<()> {
@@ -221,6 +333,54 @@ mod tests {
         assert!(store.delete(block(7, 2)).unwrap());
         assert!(!store.contains(block(7, 2)));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_store_range_reads_do_slice_sized_io() {
+        let dir = std::env::temp_dir().join(format!("ecpipe-range-{}", std::process::id()));
+        let store = FileStore::open(&dir).unwrap();
+        const BLOCK: usize = 64 * 1024;
+        store
+            .put(block(1, 0), Bytes::from(vec![0xAB; BLOCK]))
+            .unwrap();
+        let before = store.bytes_read();
+        let data = store.get_range(block(1, 0), 4096..4096 + 512).unwrap();
+        assert_eq!(data, Bytes::from(vec![0xAB; 512]));
+        // The pin: a 512-byte slice read must cost 512 bytes of disk I/O,
+        // not the whole 64 KiB block the default implementation would load.
+        assert_eq!(store.bytes_read() - before, 512);
+        let before = store.bytes_read();
+        store.get(block(1, 0)).unwrap();
+        assert_eq!(store.bytes_read() - before, BLOCK as u64);
+        // Out-of-bounds and missing-block errors match the default impl.
+        assert!(matches!(
+            store.get_range(block(1, 0), BLOCK - 10..BLOCK + 1),
+            Err(EcPipeError::InvalidRequest { .. })
+        ));
+        assert!(matches!(
+            store.get_range(block(9, 9), 0..1),
+            Err(EcPipeError::BlockNotFound { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_verify_and_corrupt_hooks() {
+        let store = MemoryStore::new();
+        store
+            .put(block(4, 0), Bytes::from_static(b"abcdef"))
+            .unwrap();
+        assert!(store.verify(block(4, 0)).is_ok());
+        assert!(matches!(
+            store.verify(block(4, 1)),
+            Err(EcPipeError::BlockNotFound { .. })
+        ));
+        store.corrupt(block(4, 0), 2).unwrap();
+        let data = store.get(block(4, 0)).unwrap();
+        assert_eq!(data[2], b'c' ^ 0xFF, "the byte really flipped");
+        // A plain store keeps no checksums, so the rot passes verify().
+        assert!(store.verify(block(4, 0)).is_ok());
+        assert!(store.corrupt(block(4, 0), 100).is_err());
     }
 
     #[test]

@@ -270,6 +270,24 @@ impl StatsRegistry {
 /// The executors in [`crate::exec`] are generic over this trait, so the same
 /// repair strategies run unchanged over in-process channels
 /// ([`ChannelTransport`]) or localhost TCP sockets ([`TcpTransport`]).
+///
+/// ```
+/// use bytes::Bytes;
+/// use ecpipe::transport::{ChannelTransport, SliceMsg, Transport};
+///
+/// let transport = ChannelTransport::new();
+/// // A bounded link from node 0 to node 1, as the executors open them.
+/// let (tx, rx) = transport.link(0, 1, 8);
+/// tx.send(SliceMsg::new(0, Bytes::from_static(b"slice")).tagged(7, 2))
+///     .unwrap();
+/// let msg = rx.recv().unwrap();
+/// assert_eq!((msg.index, msg.stripe, msg.repair), (0, 7, 2));
+/// drop(tx);
+/// assert!(rx.recv().is_none(), "stream ends when the sender drops");
+/// // Per-link accounting, used by the paper's traffic-distribution tests.
+/// assert_eq!(transport.link_bytes(0, 1), 5);
+/// assert_eq!(transport.total_bytes(), 5);
+/// ```
 pub trait Transport: Send + Sync {
     /// Opens a bounded link from `src` to `dst`. The capacity is the number
     /// of slices that may be buffered in flight (the pipeline depth between

@@ -1,13 +1,15 @@
 //! The repair manager as a long-running daemon: prioritized, concurrent,
 //! liveness-aware repair orchestration (§3.3 at the runtime level).
 //!
-//! A 12-node cluster stores 24 (6,4) stripes over a bandwidth-limited
-//! in-process transport (every link throttled, so repairs are network-bound
-//! like the paper's 1 Gb/s testbed). The daemon then faces the full menu:
-//! degraded reads (high priority), a reported node failure (background
-//! recovery of every affected stripe), and a helper that turns out to be
-//! silently dead mid-repair (strikes → declared dead → auto-enqueued
-//! recovery). The same node failure is finally replayed through the
+//! A 12-node cluster stores 24 (6,4) stripes on checksum-verifying stores
+//! over a bandwidth-limited in-process transport (every link throttled, so
+//! repairs are network-bound like the paper's 1 Gb/s testbed). The daemon
+//! then faces the full menu: degraded reads (high priority), a reported
+//! node failure (background recovery of every affected stripe), a helper
+//! that turns out to be silently dead mid-repair (strikes → declared dead →
+//! auto-enqueued recovery), and silent bit-rot (injected corruption, caught
+//! by a paced scrub cycle, repaired in place at corruption priority and
+//! re-verified). The same node failure is finally replayed through the
 //! sequential `full_node_recovery_over` loop to show the concurrency win.
 //!
 //! Run with `cargo run --release --example repair_daemon`.
@@ -17,7 +19,7 @@ use std::sync::Arc;
 use repair_pipelining::ecc::slice::SliceLayout;
 use repair_pipelining::ecc::stripe::{BlockId, StripeId};
 use repair_pipelining::ecc::ReedSolomon;
-use repair_pipelining::ecpipe::manager::{ManagerConfig, RepairManager};
+use repair_pipelining::ecpipe::manager::{ManagerConfig, RepairManager, ScrubConfig};
 use repair_pipelining::ecpipe::recovery::full_node_recovery_over;
 use repair_pipelining::ecpipe::transport::ChannelTransport;
 use repair_pipelining::ecpipe::{Cluster, Coordinator, ExecStrategy};
@@ -37,7 +39,9 @@ fn build_cluster() -> (Coordinator, Cluster, Vec<Vec<Vec<u8>>>) {
     let code = Arc::new(ReedSolomon::new(6, 4).expect("valid parameters"));
     let layout = SliceLayout::new(BLOCK, SLICE);
     let mut coordinator = Coordinator::new(code, layout);
-    let mut cluster = Cluster::in_memory(NODES);
+    // Checksummed stores: every read verifies per-chunk CRC-32s, so the
+    // bit-rot act below is detectable instead of silently poisoning GF math.
+    let mut cluster = Cluster::in_memory_checksummed(NODES);
     let mut originals = Vec::new();
     for s in 0..STRIPES {
         let data: Vec<Vec<u8>> = (0..4)
@@ -116,6 +120,33 @@ fn main() {
         manager.node_health(silent_node),
     );
 
+    // --- Silent bit-rot: flipped bytes nobody reported ---------------------
+    // Stripes 8 and 20 sit entirely on live nodes {8..11, 0, 1}. Flip one
+    // byte in each; the stored checksums go stale, so the next scrub (or any
+    // helper read) convicts the block instead of serving poisoned bytes.
+    for (stripe, index) in [(8u64, 1usize), (20, 3)] {
+        manager
+            .cluster()
+            .corrupt_block(StripeId(stripe), index, 12345)
+            .expect("inject corruption");
+    }
+    // One paced scrub cycle: walk every live node's blocks with a
+    // token-bucket budget, enqueue corruption-class repairs (above
+    // background recovery, below degraded reads), wait for them to drain
+    // and re-verify the repaired blocks.
+    let scrub = manager.scrub(&ScrubConfig::default().with_rate(32 * 1024 * 1024));
+    println!(
+        "scrub cycle: {} blocks ({} KiB) verified in {:.3}s, {} corrupt found, \
+         {} repaired+re-verified, {} still corrupt",
+        scrub.blocks_scanned,
+        scrub.bytes_scanned / 1024,
+        scrub.duration.as_secs_f64(),
+        scrub.corrupt.len(),
+        scrub.reverified_clean,
+        scrub.still_corrupt.len(),
+    );
+    assert!(scrub.still_corrupt.is_empty(), "scrub must heal all rot");
+
     // Every lost block must be back, byte-identical to a fresh re-encode.
     let code = ReedSolomon::new(6, 4).expect("valid parameters");
     let mut verified = 0;
@@ -146,11 +177,20 @@ fn main() {
         report.network_bytes / 1024,
     );
     println!(
-        "  queue wait: degraded reads mean {:.1} ms (n={}), background mean {:.1} ms (n={})",
+        "  queue wait: degraded reads mean {:.1} ms (n={}), corruption mean {:.1} ms (n={}), \
+         background mean {:.1} ms (n={})",
         report.degraded_wait.mean().as_secs_f64() * 1e3,
         report.degraded_wait.count,
+        report.corruption_wait.mean().as_secs_f64() * 1e3,
+        report.corruption_wait.count,
         report.background_wait.mean().as_secs_f64() * 1e3,
         report.background_wait.count,
+    );
+    println!(
+        "  scrubbing: {} blocks verified over {} cycle(s), {} corruption(s) detected",
+        report.blocks_scrubbed(),
+        report.scrub_cycles.len(),
+        report.corruption_detected(),
     );
     println!(
         "  per-node peak in-flight roles: max {} (cap was 3)",

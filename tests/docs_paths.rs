@@ -1,0 +1,91 @@
+//! Markdown hygiene: every repository path referenced from the top-level
+//! docs must exist, so README/ARCHITECTURE/PAPER cannot rot silently when
+//! files move. CI runs this as its docs-path hygiene step.
+
+use std::path::Path;
+
+/// The documents whose path references are checked.
+const DOCS: &[&str] = &["README.md", "PAPER.md", "docs/ARCHITECTURE.md"];
+
+/// A token is treated as a repository path when it starts with one of these
+/// anchors. Prose like `bytes/sec` or `bins/examples/benches` never does.
+const ANCHORS: &[&str] = &[
+    "crates/",
+    "tests/",
+    "examples/",
+    "benches/",
+    "docs/",
+    "src/",
+    ".github/",
+];
+
+/// Extracts the anchored path references from a markdown document: maximal
+/// runs of path characters, trimmed of trailing punctuation, globs skipped.
+fn extract_paths(text: &str) -> Vec<String> {
+    let is_path_char =
+        |c: char| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '/' | '*');
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find(is_path_char) {
+        let tail = &rest[start..];
+        let end = tail.find(|c| !is_path_char(c)).unwrap_or(tail.len());
+        let token = tail[..end].trim_end_matches(['.', '/', '-']);
+        if ANCHORS.iter().any(|a| token.starts_with(a)) && !token.contains('*') {
+            out.push(token.to_string());
+        }
+        rest = &tail[end..];
+    }
+    out
+}
+
+#[test]
+fn every_documented_path_exists() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut missing = Vec::new();
+    let mut checked = 0;
+    for doc in DOCS {
+        let text = std::fs::read_to_string(root.join(doc))
+            .unwrap_or_else(|e| panic!("cannot read {doc}: {e}"));
+        for path in extract_paths(&text) {
+            checked += 1;
+            if !root.join(&path).exists() {
+                missing.push(format!("{doc}: {path}"));
+            }
+        }
+    }
+    assert!(
+        checked > 40,
+        "the path extractor found only {checked} references; it has probably regressed"
+    );
+    assert!(
+        missing.is_empty(),
+        "documented paths that do not exist:\n  {}",
+        missing.join("\n  ")
+    );
+}
+
+#[test]
+fn extractor_recognizes_paths_and_ignores_prose() {
+    let text = "See `crates/core/src/store.rs` and [CI](.github/workflows/ci.yml); \
+                shims live under crates/shims/. Prose like 4 bytes/sec, \
+                bins/examples/benches and globs crates/**/src stay out.";
+    let paths = extract_paths(text);
+    assert_eq!(
+        paths,
+        vec![
+            "crates/core/src/store.rs",
+            ".github/workflows/ci.yml",
+            "crates/shims",
+        ]
+    );
+}
+
+#[test]
+fn architecture_doc_is_linked_from_readme() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    assert!(
+        readme.contains("docs/ARCHITECTURE.md"),
+        "README must link the architecture document"
+    );
+}
