@@ -8,7 +8,7 @@ use ecc::slice::SliceLayout;
 use ecc::ReedSolomon;
 use ecpipe::exec::{execute_single, ExecStrategy};
 use ecpipe::transport::ChannelTransport;
-use ecpipe::{Cluster, Coordinator, SelectionPolicy};
+use ecpipe::{Cluster, Coordinator, SelectionPolicy, StoreBackend};
 
 const BLOCK: usize = 4 * 1024 * 1024;
 
@@ -16,7 +16,7 @@ fn bench_runtime(c: &mut Criterion) {
     let code = Arc::new(ReedSolomon::new(14, 10).unwrap());
     let layout = SliceLayout::new(BLOCK, 32 * 1024);
     let mut coordinator = Coordinator::new(code, layout);
-    let mut cluster = Cluster::in_memory(16);
+    let cluster = Cluster::new(StoreBackend::memory(16)).unwrap();
     let data: Vec<Vec<u8>> = (0..10)
         .map(|i| {
             (0..BLOCK)
@@ -39,7 +39,7 @@ fn bench_runtime(c: &mut Criterion) {
         ExecStrategy::BlockPipeline,
     ] {
         group.bench_with_input(
-            BenchmarkId::new("single_block_repair", strategy.label()),
+            BenchmarkId::new("single_block_repair", strategy),
             &strategy,
             |b, &strategy| {
                 b.iter(|| {

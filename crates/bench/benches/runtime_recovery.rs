@@ -15,7 +15,7 @@ use ecc::ReedSolomon;
 use ecpipe::manager::{recover_node, ManagerConfig};
 use ecpipe::recovery::full_node_recovery_over;
 use ecpipe::transport::{ChannelTransport, TcpTransport, Transport};
-use ecpipe::{Cluster, Coordinator, ExecStrategy};
+use ecpipe::{Cluster, Coordinator, ExecStrategy, StoreBackend};
 
 const BLOCK: usize = 64 * 1024;
 const SLICE: usize = 8 * 1024;
@@ -30,7 +30,7 @@ const LINK_RATE: u64 = 4 * 1024 * 1024;
 fn setup() -> (Coordinator, Cluster) {
     let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
     let mut coordinator = Coordinator::new(code, SliceLayout::new(BLOCK, SLICE));
-    let mut cluster = Cluster::in_memory(STORAGE_NODES + 2);
+    let cluster = Cluster::new(StoreBackend::memory(STORAGE_NODES + 2)).unwrap();
     for s in 0..STRIPES {
         let data: Vec<Vec<u8>> = (0..4)
             .map(|i| {

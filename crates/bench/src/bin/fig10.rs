@@ -31,9 +31,9 @@ fn fig10a_hdfs_raid() {
     let profile = SystemProfile::hdfs_raid();
     let layout = SliceLayout::new(DEFAULT_BLOCK, DEFAULT_SLICE);
     for (n, k) in [(9, 6), (12, 8), (14, 10), (16, 12)] {
-        let values: Vec<(&str, f64)> = VARIANTS
+        let values: Vec<(RepairVariant, f64)> = VARIANTS
             .iter()
-            .map(|&v| (v.label(), single_block_repair_time(&profile, k, layout, v)))
+            .map(|&v| (v, single_block_repair_time(&profile, k, layout, v)))
             .collect();
         row(&format!("({n},{k})"), &values);
     }
@@ -51,11 +51,11 @@ fn fig10b_hdfs3() {
     // comparison between variants is what the figure reports.
     let layout = SliceLayout::new(8 * MIB, 128 * KIB);
     for (n, k) in [(9, 6), (12, 8), (14, 10), (16, 12)] {
-        let values: Vec<(&str, f64)> = VARIANTS
+        let values: Vec<(RepairVariant, f64)> = VARIANTS
             .iter()
             .map(|&v| {
                 (
-                    v.label(),
+                    v,
                     full_node_recovery_rate(&profile, n, k, layout, 64, v) / MIB as f64,
                 )
             })
@@ -74,9 +74,9 @@ fn fig10c_qfs_slice_size() {
     let profile = SystemProfile::qfs();
     for slice_kib in [1, 2, 4, 8, 16, 32, 64, 128, 256] {
         let layout = SliceLayout::new(DEFAULT_BLOCK, slice_kib * KIB);
-        let values: Vec<(&str, f64)> = VARIANTS
+        let values: Vec<(RepairVariant, f64)> = VARIANTS
             .iter()
-            .map(|&v| (v.label(), single_block_repair_time(&profile, 6, layout, v)))
+            .map(|&v| (v, single_block_repair_time(&profile, 6, layout, v)))
             .collect();
         row(&format!("{slice_kib} KiB"), &values);
     }
@@ -92,9 +92,9 @@ fn fig10d_qfs_block_size() {
     let profile = SystemProfile::qfs();
     for block_mib in [8, 16, 32, 64] {
         let layout = SliceLayout::new(block_mib * MIB, DEFAULT_SLICE);
-        let values: Vec<(&str, f64)> = VARIANTS
+        let values: Vec<(RepairVariant, f64)> = VARIANTS
             .iter()
-            .map(|&v| (v.label(), single_block_repair_time(&profile, 6, layout, v)))
+            .map(|&v| (v, single_block_repair_time(&profile, 6, layout, v)))
             .collect();
         row(&format!("{block_mib} MiB"), &values);
     }

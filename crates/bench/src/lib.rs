@@ -83,8 +83,9 @@ pub fn header(figure: &str, description: &str) {
     println!("================================================================");
 }
 
-/// Prints one series row: an x value and `(label, value)` pairs.
-pub fn row(x: &str, values: &[(&str, f64)]) {
+/// Prints one series row: an x value and `(label, value)` pairs. Labels are
+/// anything `Display` — `&str`, or scheme/strategy enums directly.
+pub fn row(x: &str, values: &[(impl std::fmt::Display, f64)]) {
     print!("{x:>16}");
     for (label, value) in values {
         print!("  {label}={value:<10.3}");

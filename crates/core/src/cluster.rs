@@ -10,53 +10,67 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use parking_lot::RwLock;
 
 use ecc::stripe::{BlockId, StripeId};
 use simnet::NodeId;
 
+use ecc::ErasureCode;
+
 use crate::coordinator::SelectionPolicy;
 use crate::exec::{self, ExecStrategy};
-use crate::integrity::ChecksummedStore;
-use crate::store::{BlockStore, MemoryStore};
+use crate::store::{BlockStore, StoreBackend};
 use crate::transport::{ChannelTransport, Transport};
 use crate::{Coordinator, EcPipeError, Result};
 
 /// A cluster of storage nodes.
+///
+/// Stripe placements live behind a lock, so stripes can be written through a
+/// shared `&Cluster` — which is how the [`EcPipe`](crate::EcPipe) façade
+/// keeps accepting `put`s while the repair manager owns the cluster.
 pub struct Cluster {
     stores: Vec<Arc<dyn BlockStore>>,
-    placements: HashMap<StripeId, Vec<NodeId>>,
+    placements: RwLock<HashMap<StripeId, Vec<NodeId>>>,
 }
 
 impl Cluster {
+    /// Creates a cluster whose nodes store blocks as `backend` describes.
+    pub fn new(backend: StoreBackend) -> Result<Self> {
+        Ok(Cluster {
+            stores: backend.build()?,
+            placements: RwLock::new(HashMap::new()),
+        })
+    }
+
     /// Creates a cluster of `nodes` in-memory storage nodes.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Cluster::new(StoreBackend::memory(nodes))`"
+    )]
     pub fn in_memory(nodes: usize) -> Self {
-        Cluster {
-            stores: (0..nodes)
-                .map(|_| Arc::new(MemoryStore::new()) as Arc<dyn BlockStore>)
-                .collect(),
-            placements: HashMap::new(),
-        }
+        Cluster::new(StoreBackend::memory(nodes)).expect("in-memory backends are infallible")
     }
 
     /// Creates a cluster of `nodes` in-memory storage nodes whose stores
-    /// verify per-chunk CRC-32 checksums on every read
-    /// ([`ChecksummedStore`] over [`MemoryStore`]), so injected corruption
-    /// ([`Cluster::corrupt_block`]) is detectable by reads and scrubbing.
+    /// verify per-chunk CRC-32 checksums on every read, so injected
+    /// corruption ([`Cluster::corrupt_block`]) is detectable by reads and
+    /// scrubbing.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Cluster::new(StoreBackend::memory_checksummed(nodes))`"
+    )]
     pub fn in_memory_checksummed(nodes: usize) -> Self {
-        Cluster {
-            stores: (0..nodes)
-                .map(|_| Arc::new(ChecksummedStore::new(MemoryStore::new())) as Arc<dyn BlockStore>)
-                .collect(),
-            placements: HashMap::new(),
-        }
+        Cluster::new(StoreBackend::memory_checksummed(nodes))
+            .expect("in-memory backends are infallible")
     }
 
     /// Creates a cluster from explicit per-node stores (e.g. file-backed).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Cluster::new(StoreBackend::custom(stores))`"
+    )]
     pub fn from_stores(stores: Vec<Arc<dyn BlockStore>>) -> Self {
-        Cluster {
-            stores,
-            placements: HashMap::new(),
-        }
+        Cluster::new(StoreBackend::custom(stores)).expect("custom backends are infallible")
     }
 
     /// The number of nodes.
@@ -70,8 +84,8 @@ impl Cluster {
     }
 
     /// The placement (block index to node) of a stripe.
-    pub fn placement(&self, stripe: StripeId) -> Option<&Vec<NodeId>> {
-        self.placements.get(&stripe)
+    pub fn placement(&self, stripe: StripeId) -> Option<Vec<NodeId>> {
+        self.placements.read().get(&stripe).cloned()
     }
 
     /// Encodes `data` with the coordinator's code and writes the stripe with
@@ -80,7 +94,7 @@ impl Cluster {
     ///
     /// Returns the stripe id.
     pub fn write_stripe(
-        &mut self,
+        &self,
         coordinator: &mut Coordinator,
         stripe_id: u64,
         data: &[Vec<u8>],
@@ -99,13 +113,30 @@ impl Cluster {
 
     /// Encodes and writes a stripe with an explicit placement.
     pub fn write_stripe_with_placement(
-        &mut self,
+        &self,
         coordinator: &mut Coordinator,
         stripe_id: u64,
         data: &[Vec<u8>],
         placement: Vec<NodeId>,
     ) -> Result<StripeId> {
         let code = coordinator.code().clone();
+        let id = self.write_stripe_blocks(&code, stripe_id, data, placement.clone())?;
+        coordinator.register_stripe(id, placement);
+        Ok(id)
+    }
+
+    /// Encodes and writes a stripe's blocks *without* registering the stripe
+    /// with a coordinator — the caller registers it afterwards. This lets
+    /// [`EcPipe::put`](crate::EcPipe::put) run the expensive encode and the
+    /// block writes outside the coordinator lock, so repairs keep planning
+    /// while a large object is written.
+    pub fn write_stripe_blocks(
+        &self,
+        code: &Arc<dyn ErasureCode>,
+        stripe_id: u64,
+        data: &[Vec<u8>],
+        placement: Vec<NodeId>,
+    ) -> Result<StripeId> {
         if placement.len() != code.n() {
             return Err(EcPipeError::InvalidRequest {
                 reason: "placement must assign a node to every coded block".to_string(),
@@ -125,20 +156,61 @@ impl Cluster {
         let id = StripeId(stripe_id);
         for (index, block) in coded.into_iter().enumerate() {
             let node = placement[index];
-            self.stores[node].put(BlockId { stripe: id, index }, Bytes::from(block))?;
+            if let Err(error) =
+                self.stores[node].put(BlockId { stripe: id, index }, Bytes::from(block))
+            {
+                // Clean up the blocks already written for this stripe — a
+                // half-written, never-registered stripe would leak storage.
+                for (i, &n) in placement.iter().enumerate().take(index) {
+                    let _ = self.stores[n].delete(BlockId {
+                        stripe: id,
+                        index: i,
+                    });
+                }
+                return Err(error);
+            }
         }
-        coordinator.register_stripe(id, placement.clone());
-        self.placements.insert(id, placement);
+        self.placements.write().insert(id, placement);
         Ok(id)
+    }
+
+    /// Updates the stored placement of one block (e.g. after a repair
+    /// reconstructed it onto another node), keeping the cluster's view in
+    /// step with [`Coordinator::relocate_block`]. Returns an error for an
+    /// unknown stripe or an out-of-range index.
+    pub fn relocate(&self, stripe: StripeId, index: usize, node: NodeId) -> Result<()> {
+        let mut placements = self.placements.write();
+        let placement = placements
+            .get_mut(&stripe)
+            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?;
+        if index >= placement.len() {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!("block index {index} out of range"),
+            });
+        }
+        placement[index] = node;
+        Ok(())
+    }
+
+    /// Deletes every block of a stripe and drops its placement (e.g. when
+    /// the object owning the stripe is deleted). Returns whether the stripe
+    /// was known.
+    pub fn delete_stripe(&self, stripe: StripeId) -> bool {
+        let Some(placement) = self.placements.write().remove(&stripe) else {
+            return false;
+        };
+        for (index, &node) in placement.iter().enumerate() {
+            let _ = self.stores[node].delete(BlockId { stripe, index });
+        }
+        true
     }
 
     /// Erases one block of a stripe (simulating a lost or unavailable block).
     /// Returns whether the block was present.
     pub fn erase_block(&self, stripe: StripeId, index: usize) -> bool {
-        let Some(placement) = self.placements.get(&stripe) else {
+        let Some(node) = self.placements.read().get(&stripe).map(|p| p[index]) else {
             return false;
         };
-        let node = placement[index];
         self.stores[node]
             .delete(BlockId { stripe, index })
             .unwrap_or(false)
@@ -151,20 +223,36 @@ impl Cluster {
     /// poisons whatever reads the block — which is exactly the failure mode
     /// the integrity layer exists to close.
     pub fn corrupt_block(&self, stripe: StripeId, index: usize, offset: usize) -> Result<()> {
-        let placement = self
-            .placements
-            .get(&stripe)
-            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?;
-        self.stores[placement[index]].corrupt(BlockId { stripe, index }, offset)
+        let node = self.node_of(stripe, index)?;
+        self.stores[node].corrupt(BlockId { stripe, index }, offset)
     }
 
     /// Verifies one block's integrity on the node its placement maps it to.
     pub fn verify_block(&self, stripe: StripeId, index: usize) -> Result<()> {
-        let placement = self
-            .placements
+        let node = self.node_of(stripe, index)?;
+        self.stores[node].verify(BlockId { stripe, index })
+    }
+
+    /// The node a block currently lives on, per the stored placement.
+    pub fn node_of(&self, stripe: StripeId, index: usize) -> Result<NodeId> {
+        let placements = self.placements.read();
+        let placement = placements
             .get(&stripe)
             .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?;
-        self.stores[placement[index]].verify(BlockId { stripe, index })
+        placement
+            .get(index)
+            .copied()
+            .ok_or_else(|| EcPipeError::InvalidRequest {
+                reason: format!("block index {index} out of range"),
+            })
+    }
+
+    /// Scans every node's store for a copy of `block`, returning the first
+    /// holder. A repaired block can land on a node the placement cannot
+    /// name (the coordinator refuses to co-locate two blocks of a stripe);
+    /// this finds such stray copies so reads can still serve them.
+    pub fn find_block(&self, block: BlockId) -> Option<NodeId> {
+        (0..self.stores.len()).find(|&n| self.stores[n].contains(block))
     }
 
     /// Deletes every block stored on a node (simulating a full node failure).
@@ -234,11 +322,21 @@ impl Cluster {
 
     /// Reads a block from wherever its stripe placement says it lives.
     pub fn read_block(&self, stripe: StripeId, index: usize) -> Result<Bytes> {
-        let placement = self
-            .placements
-            .get(&stripe)
-            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?;
-        self.stores[placement[index]].get(BlockId { stripe, index })
+        let node = self.node_of(stripe, index)?;
+        self.stores[node].get(BlockId { stripe, index })
+    }
+
+    /// Reads a byte range of a block from wherever its stripe placement says
+    /// it lives. On a checksummed store only the chunks the range overlaps
+    /// are verified, so the read stays proportional to the range.
+    pub fn read_block_range(
+        &self,
+        stripe: StripeId,
+        index: usize,
+        range: std::ops::Range<usize>,
+    ) -> Result<Bytes> {
+        let node = self.node_of(stripe, index)?;
+        self.stores[node].get_range(BlockId { stripe, index }, range)
     }
 }
 
@@ -251,16 +349,16 @@ mod tests {
     fn setup() -> (Cluster, Coordinator, Vec<Vec<u8>>) {
         let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
         let coordinator = Coordinator::new(code, SliceLayout::new(4096, 512));
-        let cluster = Cluster::in_memory(8);
+        let cluster = Cluster::new(StoreBackend::memory(8)).unwrap();
         let data: Vec<Vec<u8>> = (0..4).map(|i| vec![(i * 17 + 3) as u8; 4096]).collect();
         (cluster, coordinator, data)
     }
 
     #[test]
     fn write_stripe_places_blocks_on_distinct_nodes() {
-        let (mut cluster, mut coordinator, data) = setup();
+        let (cluster, mut coordinator, data) = setup();
         let stripe = cluster.write_stripe(&mut coordinator, 5, &data).unwrap();
-        let placement = cluster.placement(stripe).unwrap().clone();
+        let placement = cluster.placement(stripe).unwrap();
         assert_eq!(placement.len(), 6);
         let mut sorted = placement.clone();
         sorted.sort_unstable();
@@ -277,7 +375,7 @@ mod tests {
 
     #[test]
     fn erase_and_kill_remove_blocks() {
-        let (mut cluster, mut coordinator, data) = setup();
+        let (cluster, mut coordinator, data) = setup();
         let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
         assert!(cluster.erase_block(stripe, 1));
         assert!(!cluster.erase_block(stripe, 1));
@@ -288,10 +386,39 @@ mod tests {
     }
 
     #[test]
+    fn relocate_updates_placement_view() {
+        let (cluster, mut coordinator, data) = setup();
+        let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
+        let original = cluster.node_of(stripe, 1).unwrap();
+        cluster.relocate(stripe, 1, 7).unwrap();
+        assert_eq!(cluster.node_of(stripe, 1).unwrap(), 7);
+        assert_ne!(original, 7);
+        assert!(cluster.relocate(StripeId(99), 0, 0).is_err());
+        assert!(cluster.relocate(stripe, 9, 0).is_err());
+        assert!(cluster.node_of(StripeId(99), 0).is_err());
+        assert!(cluster.node_of(stripe, 9).is_err());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_build_working_clusters() {
+        // The shims must stay byte-equivalent to the StoreBackend path for
+        // one release.
+        let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
+        let mut coordinator = Coordinator::new(code, SliceLayout::new(4096, 512));
+        let cluster = Cluster::in_memory(8);
+        let data: Vec<Vec<u8>> = (0..4).map(|i| vec![(i * 17 + 3) as u8; 4096]).collect();
+        let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
+        assert_eq!(cluster.read_block(stripe, 0).unwrap(), data[0]);
+        assert_eq!(Cluster::in_memory_checksummed(3).num_nodes(), 3);
+        assert_eq!(Cluster::from_stores(Vec::new()).num_nodes(), 0);
+    }
+
+    #[test]
     fn checksummed_cluster_detects_injected_corruption() {
         let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
         let mut coordinator = Coordinator::new(code, SliceLayout::new(4096, 512));
-        let mut cluster = Cluster::in_memory_checksummed(8);
+        let cluster = Cluster::new(StoreBackend::memory_checksummed(8)).unwrap();
         let data: Vec<Vec<u8>> = (0..4).map(|i| vec![(i * 11 + 1) as u8; 4096]).collect();
         let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
         assert!(cluster.verify_block(stripe, 2).is_ok());
@@ -318,7 +445,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_placement() {
-        let (mut cluster, mut coordinator, data) = setup();
+        let (cluster, mut coordinator, data) = setup();
         let err =
             cluster.write_stripe_with_placement(&mut coordinator, 0, &data, vec![0, 1, 2, 3, 4, 4]);
         assert!(err.is_err());
@@ -328,7 +455,7 @@ mod tests {
     fn rejects_small_cluster() {
         let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
         let mut coordinator = Coordinator::new(code, SliceLayout::new(1024, 512));
-        let mut cluster = Cluster::in_memory(3);
+        let cluster = Cluster::new(StoreBackend::memory(3)).unwrap();
         let data: Vec<Vec<u8>> = (0..4).map(|_| vec![0u8; 1024]).collect();
         assert!(cluster.write_stripe(&mut coordinator, 0, &data).is_err());
     }

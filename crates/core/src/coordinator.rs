@@ -40,8 +40,23 @@ impl StripeMeta {
     }
 }
 
+/// Metadata of one named object stored through the
+/// [`EcPipe`](crate::EcPipe) façade: its true byte length and the stripes
+/// that hold its (zero-padded) blocks, in order.
+#[derive(Debug, Clone)]
+pub struct ObjectMeta {
+    /// Object name.
+    pub name: String,
+    /// Original size in bytes (before padding to whole blocks).
+    pub size: usize,
+    /// The stripes storing the object, in offset order. Each stripe holds
+    /// `k` data blocks of the object.
+    pub stripes: Vec<StripeId>,
+}
+
 /// How the coordinator picks helpers when more are available than needed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SelectionPolicy {
     /// Let the erasure code pick from all available blocks (lowest indices
     /// first for RS; the local group for LRC).
@@ -131,6 +146,8 @@ pub struct Coordinator {
     code: Arc<dyn ErasureCode>,
     layout: SliceLayout,
     stripes: HashMap<u64, StripeMeta>,
+    objects: HashMap<String, ObjectMeta>,
+    next_stripe: u64,
     last_selected: HashMap<NodeId, u64>,
     clock: u64,
 }
@@ -142,6 +159,8 @@ impl Coordinator {
             code,
             layout,
             stripes: HashMap::new(),
+            objects: HashMap::new(),
+            next_stripe: 0,
             last_selected: HashMap::new(),
             clock: 0,
         }
@@ -168,7 +187,56 @@ impl Coordinator {
             self.code.n(),
             "stripe must have one location per coded block"
         );
+        self.next_stripe = self.next_stripe.max(id.0 + 1);
         self.stripes.insert(id.0, StripeMeta { id, locations });
+    }
+
+    /// Hands out the next unused stripe id. Ids registered through
+    /// [`register_stripe`](Self::register_stripe) are never re-issued, so
+    /// façade `put`s and hand-registered stripes can share one namespace.
+    pub fn allocate_stripe_id(&mut self) -> u64 {
+        let id = self.next_stripe;
+        self.next_stripe += 1;
+        id
+    }
+
+    /// Records a named object and the stripes that store it. Replaces any
+    /// previous object of the same name.
+    pub fn register_object(&mut self, meta: ObjectMeta) {
+        self.objects.insert(meta.name.clone(), meta);
+    }
+
+    /// Looks up a named object.
+    pub fn object(&self, name: &str) -> Result<&ObjectMeta> {
+        self.objects
+            .get(name)
+            .ok_or_else(|| EcPipeError::InvalidRequest {
+                reason: format!("no such object: {name}"),
+            })
+    }
+
+    /// Whether an object of this name is registered.
+    pub fn has_object(&self, name: &str) -> bool {
+        self.objects.contains_key(name)
+    }
+
+    /// All registered objects, ordered by name.
+    pub fn objects(&self) -> Vec<&ObjectMeta> {
+        let mut metas: Vec<&ObjectMeta> = self.objects.values().collect();
+        metas.sort_by(|a, b| a.name.cmp(&b.name));
+        metas
+    }
+
+    /// Unregisters a named object, returning its metadata. The object's
+    /// stripes stay registered until [`forget_stripe`](Self::forget_stripe).
+    pub fn remove_object(&mut self, name: &str) -> Option<ObjectMeta> {
+        self.objects.remove(name)
+    }
+
+    /// Drops a stripe's metadata (e.g. when its object is deleted). The id
+    /// is not re-issued. Returns whether the stripe was registered.
+    pub fn forget_stripe(&mut self, id: StripeId) -> bool {
+        self.stripes.remove(&id.0).is_some()
     }
 
     /// Looks up a stripe's metadata.
@@ -368,6 +436,31 @@ mod tests {
         assert_eq!(c.stripe(StripeId(2)).unwrap().node_of(0), 5);
         assert!(c.stripe(StripeId(9)).is_err());
         assert_eq!(c.stripes().len(), 2);
+    }
+
+    #[test]
+    fn object_namespace_and_stripe_allocation() {
+        let mut c = coordinator();
+        // Hand-registered stripes push the allocator past their ids.
+        c.register_stripe(StripeId(4), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(c.allocate_stripe_id(), 5);
+        assert_eq!(c.allocate_stripe_id(), 6);
+        assert!(!c.has_object("/a"));
+        assert!(c.object("/a").is_err());
+        c.register_object(ObjectMeta {
+            name: "/a".to_string(),
+            size: 123,
+            stripes: vec![StripeId(5), StripeId(6)],
+        });
+        c.register_object(ObjectMeta {
+            name: "/b".to_string(),
+            size: 7,
+            stripes: vec![StripeId(4)],
+        });
+        assert!(c.has_object("/a"));
+        assert_eq!(c.object("/a").unwrap().size, 123);
+        let names: Vec<&str> = c.objects().iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(names, vec!["/a", "/b"]);
     }
 
     #[test]

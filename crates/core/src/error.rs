@@ -6,6 +6,7 @@ use ecc::stripe::BlockId;
 
 /// Errors returned by the ECPipe coordinator, block stores and executors.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum EcPipeError {
     /// A block was not found in the store it was expected to live in.
     BlockNotFound {
@@ -100,5 +101,30 @@ impl From<crate::transport::TransportError> for EcPipeError {
             },
             TransportError::Io(e) => EcPipeError::Io(e),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn source_chains_to_the_underlying_error() {
+        let planning: EcPipeError = ecc::CodeError::NotEnoughBlocks {
+            needed: 4,
+            available: 3,
+        }
+        .into();
+        assert!(planning.source().is_some());
+        assert!(planning.source().unwrap().to_string().contains('3'));
+
+        let io: EcPipeError = std::io::Error::other("disk gone").into();
+        assert_eq!(io.source().unwrap().to_string(), "disk gone");
+
+        // Leaf errors carry no source.
+        let leaf = EcPipeError::UnknownStripe { stripe: 9 };
+        assert!(leaf.source().is_none());
+        assert!(leaf.to_string().contains('9'));
     }
 }

@@ -39,6 +39,7 @@ pub const PIPELINE_DEPTH: usize = 8;
 
 /// How a single-block repair is executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum ExecStrategy {
     /// Requestor fetches all helper blocks and decodes locally.
     Conventional,
@@ -52,6 +53,7 @@ pub enum ExecStrategy {
 
 impl ExecStrategy {
     /// A short label matching the paper's figures.
+    #[deprecated(since = "0.2.0", note = "use the `Display` impl instead")]
     pub fn label(&self) -> &'static str {
         match self {
             ExecStrategy::Conventional => "Conv.",
@@ -59,6 +61,18 @@ impl ExecStrategy {
             ExecStrategy::RepairPipelining => "RP",
             ExecStrategy::BlockPipeline => "Pipe-B",
         }
+    }
+}
+
+impl std::fmt::Display for ExecStrategy {
+    /// Formats as the short label used in the paper's figures (`Conv.`,
+    /// `PPR`, `RP`, `Pipe-B`), so strategy names are uniform across reports
+    /// and benches.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // One string table: the deprecated alias keeps serving it until it
+        // is removed. `pad` honors width/alignment options in table output.
+        #[allow(deprecated)]
+        f.pad(self.label())
     }
 }
 
@@ -491,7 +505,7 @@ mod tests {
         let k = code.k();
         let n = code.n();
         let mut coordinator = Coordinator::new(code, ecc::slice::SliceLayout::new(BLOCK, 1024));
-        let mut cluster = Cluster::in_memory(n + 2);
+        let cluster = Cluster::new(crate::StoreBackend::memory(n + 2)).unwrap();
         let data = make_data(k, 3);
         let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
         (cluster, coordinator, data, stripe)

@@ -1,0 +1,753 @@
+//! The `EcPipe` runtime façade: one builder-configured handle over the
+//! whole middleware.
+//!
+//! The paper's ECPipe is a middleware that storage systems talk to through a
+//! thin client API (§5); the TOS extension integrates it with HDFS and QFS
+//! exactly that way. This module is that client API for our runtime:
+//! [`EcPipeBuilder`] assembles the code, slice layout, store backend,
+//! transport and repair-manager configuration into one [`EcPipe`] handle,
+//! and the handle adds the piece every consumer used to hand-wire around —
+//! an object-level data path.
+//!
+//! * [`EcPipe::put`] encodes an object into one or more stripes and places
+//!   the blocks across the nodes;
+//! * [`EcPipe::get`] / [`EcPipe::get_range`] serve native reads, and fall
+//!   back *transparently* to manager-prioritized degraded reads when a
+//!   block is missing or fails checksum verification — the caller sees the
+//!   right bytes, the cluster heals as a side effect;
+//! * fault-injection and observability passthroughs ([`EcPipe::kill_node`],
+//!   [`EcPipe::corrupt`], [`EcPipe::report_node_failure`],
+//!   [`EcPipe::scrub`], [`EcPipe::shutdown`]) expose the machinery
+//!   underneath without any extra wiring.
+//!
+//! The coordinator, executors and [`RepairManager`] remain reachable
+//! (through [`EcPipe::manager`] and [`EcPipe::with_coordinator`]) for code
+//! that needs the lower layers; they are implementation details of the data
+//! path, not the entry point.
+//!
+//! ```
+//! use ecpipe::{EcPipeBuilder, StoreBackend};
+//!
+//! let pipe = EcPipeBuilder::new()
+//!     .code(6, 4)
+//!     .block_size(64 * 1024)
+//!     .slice_size(8 * 1024)
+//!     .store(StoreBackend::memory(8))
+//!     .build()
+//!     .unwrap();
+//!
+//! let data: Vec<u8> = (0..300_000).map(|i| (i % 251) as u8).collect();
+//! pipe.put("/logs/day-001", &data).unwrap();
+//!
+//! // A node dies; reads still return exactly the written bytes, served by
+//! // degraded reads through the repair manager.
+//! pipe.kill_node(2);
+//! assert_eq!(pipe.get("/logs/day-001").unwrap(), data);
+//! let report = pipe.shutdown();
+//! assert_eq!(report.failed_repairs, 0);
+//! ```
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use ecc::slice::SliceLayout;
+use ecc::stripe::StripeId;
+use ecc::{ErasureCode, ReedSolomon};
+use simnet::NodeId;
+
+use crate::cluster::Cluster;
+use crate::coordinator::{Coordinator, ObjectMeta};
+use crate::exec::ExecStrategy;
+use crate::manager::{
+    ManagerConfig, ManagerReport, NodeHealth, RepairManager, ScrubConfig, ScrubCycle, Scrubber,
+};
+use crate::store::StoreBackend;
+use crate::transport::{AnyTransport, ChannelTransport, TcpTransport};
+use crate::{EcPipeError, Result};
+
+/// Which transport backend moves repair slices between nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportChoice {
+    /// Bounded in-process channels — the fast default.
+    Channel,
+    /// Real localhost TCP sockets with the framed wire format.
+    Tcp,
+}
+
+/// Builder for an [`EcPipe`] runtime handle.
+///
+/// Every knob has a working default: a `(6, 4)` Reed-Solomon code, 64 KiB
+/// blocks in 8 KiB slices, an in-memory cluster of `n + 2` nodes, the
+/// in-process channel transport and the default [`ManagerConfig`]. Override
+/// what the scenario needs and call [`build`](EcPipeBuilder::build).
+#[derive(Clone)]
+pub struct EcPipeBuilder {
+    code: Option<Arc<dyn ErasureCode>>,
+    nk: (usize, usize),
+    block_size: usize,
+    slice_size: usize,
+    backend: Option<StoreBackend>,
+    transport: TransportChoice,
+    rate_limit: Option<u64>,
+    manager: ManagerConfig,
+}
+
+impl Default for EcPipeBuilder {
+    fn default() -> Self {
+        EcPipeBuilder {
+            code: None,
+            nk: (6, 4),
+            block_size: 64 * 1024,
+            slice_size: 8 * 1024,
+            backend: None,
+            transport: TransportChoice::Channel,
+            rate_limit: None,
+            manager: ManagerConfig::default(),
+        }
+    }
+}
+
+impl EcPipeBuilder {
+    /// Starts from the defaults.
+    pub fn new() -> Self {
+        EcPipeBuilder::default()
+    }
+
+    /// Uses an `(n, k)` Reed-Solomon code.
+    pub fn code(mut self, n: usize, k: usize) -> Self {
+        self.nk = (n, k);
+        self.code = None;
+        self
+    }
+
+    /// Uses an explicit erasure code (e.g. an LRC).
+    pub fn erasure_code(mut self, code: Arc<dyn ErasureCode>) -> Self {
+        self.code = Some(code);
+        self
+    }
+
+    /// Sets the block size in bytes.
+    pub fn block_size(mut self, bytes: usize) -> Self {
+        self.block_size = bytes;
+        self
+    }
+
+    /// Sets the slice size in bytes (clamped to the block size).
+    pub fn slice_size(mut self, bytes: usize) -> Self {
+        self.slice_size = bytes;
+        self
+    }
+
+    /// Sets the block/slice layout in one call.
+    pub fn layout(mut self, layout: SliceLayout) -> Self {
+        self.block_size = layout.block_size;
+        self.slice_size = layout.slice_size;
+        self
+    }
+
+    /// Chooses the store backend (and with it the node count).
+    pub fn store(mut self, backend: StoreBackend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Shorthand for [`store`](Self::store) with plain in-memory nodes.
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.backend = Some(StoreBackend::memory(nodes));
+        self
+    }
+
+    /// Chooses the transport backend.
+    pub fn transport(mut self, choice: TransportChoice) -> Self {
+        self.transport = choice;
+        self
+    }
+
+    /// Throttles every transport link to `bytes_per_sec` with a token
+    /// bucket, so repairs are network-bound like the paper's testbed.
+    pub fn rate_limit(mut self, bytes_per_sec: u64) -> Self {
+        self.rate_limit = Some(bytes_per_sec);
+        self
+    }
+
+    /// Replaces the repair-manager configuration wholesale.
+    ///
+    /// `relocate_on_success` is forced on at build time: the data path
+    /// depends on repaired blocks being findable by later reads.
+    pub fn manager(mut self, config: ManagerConfig) -> Self {
+        self.manager = config;
+        self
+    }
+
+    /// Sets the execution strategy for every repair.
+    pub fn strategy(mut self, strategy: ExecStrategy) -> Self {
+        self.manager.strategy = strategy;
+        self
+    }
+
+    /// Sets the repair worker count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.manager.workers = workers;
+        self
+    }
+
+    /// Builds the runtime: stores, cluster, coordinator, transport, and the
+    /// repair-manager daemon serving the degraded-read path.
+    pub fn build(self) -> Result<EcPipe> {
+        let code: Arc<dyn ErasureCode> = match self.code {
+            Some(code) => code,
+            None => Arc::new(ReedSolomon::new(self.nk.0, self.nk.1)?),
+        };
+        let layout = SliceLayout::new(self.block_size, self.slice_size);
+        let backend = self.backend.unwrap_or(StoreBackend::Memory {
+            nodes: code.n() + 2,
+        });
+        let nodes = backend.num_nodes();
+        if nodes < code.n() {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!(
+                    "the backend has {nodes} nodes but the ({}, {}) code needs {} per stripe",
+                    code.n(),
+                    code.k(),
+                    code.n()
+                ),
+            });
+        }
+        let cluster = Cluster::new(backend)?;
+        let coordinator = Coordinator::new(code.clone(), layout);
+        let mut config = self.manager;
+        // The data path depends on repaired blocks being findable again and
+        // on node failures being recoverable without extra wiring.
+        config.relocate_on_success = true;
+        if config.auto_requestors.is_empty() {
+            config.auto_requestors = (0..nodes).collect();
+        }
+        let transport = match (self.transport, self.rate_limit) {
+            (TransportChoice::Channel, None) => AnyTransport::from(ChannelTransport::new()),
+            (TransportChoice::Channel, Some(rate)) => {
+                AnyTransport::from(ChannelTransport::with_rate_limit(rate))
+            }
+            (TransportChoice::Tcp, None) => AnyTransport::from(TcpTransport::new()),
+            (TransportChoice::Tcp, Some(rate)) => {
+                AnyTransport::from(TcpTransport::with_rate_limit(rate))
+            }
+        };
+        Ok(EcPipe {
+            manager: RepairManager::start(coordinator, cluster, transport, config),
+            code,
+            layout,
+        })
+    }
+}
+
+/// The number of `k`-block stripes an object of `len` bytes occupies (at
+/// least one — an empty object still owns an all-zero stripe).
+pub fn stripe_count(len: usize, k: usize, block_size: usize) -> usize {
+    len.div_ceil(k * block_size).max(1)
+}
+
+/// The `k` data blocks of stripe `index` of an object, zero-padded to
+/// `block_size`. Chunking one stripe at a time keeps a large `put`'s peak
+/// memory at the object plus a single stripe.
+pub fn chunk_stripe(data: &[u8], k: usize, block_size: usize, index: usize) -> Vec<Vec<u8>> {
+    let stripe_bytes = k * block_size;
+    (0..k)
+        .map(|b| {
+            let start = index * stripe_bytes + b * block_size;
+            let end = (start + block_size).min(data.len());
+            let mut block = if start < data.len() {
+                data[start..end].to_vec()
+            } else {
+                Vec::new()
+            };
+            block.resize(block_size, 0);
+            block
+        })
+        .collect()
+}
+
+/// Splits object bytes into per-stripe block groups: `k` blocks of
+/// `block_size` per stripe, the tail zero-padded. Shared by the façade's
+/// [`EcPipe::put`] and the `dfs` crate's `SimulatedDfs::write_file`, so the
+/// runtime and simulation write paths cannot drift apart.
+pub fn chunk_into_stripes(data: &[u8], k: usize, block_size: usize) -> Vec<Vec<Vec<u8>>> {
+    (0..stripe_count(data.len(), k, block_size))
+        .map(|s| chunk_stripe(data, k, block_size, s))
+        .collect()
+}
+
+/// The ECPipe runtime handle: an erasure-coded object store whose reads
+/// transparently repair around missing and corrupt blocks.
+///
+/// Built by [`EcPipeBuilder`]; owns the cluster, coordinator, transport and
+/// the [`RepairManager`] daemon. All methods take `&self`, so one handle can
+/// be shared across client threads.
+pub struct EcPipe {
+    manager: RepairManager<AnyTransport>,
+    /// The erasure code, cached so the hot read/write paths never take the
+    /// coordinator lock just to learn `n`/`k` (immutable after build).
+    code: Arc<dyn ErasureCode>,
+    /// The block/slice layout, cached for the same reason.
+    layout: SliceLayout,
+}
+
+impl EcPipe {
+    /// How many read attempts `get`/`get_range` make on one block before
+    /// giving up: the native read plus up to two heal-and-retry rounds.
+    const READ_ATTEMPTS: usize = 3;
+
+    /// Encodes `data` into one or more stripes, places the blocks across
+    /// the nodes (skipping nodes known dead), and registers the object.
+    ///
+    /// The expensive work — erasure encoding and writing `n` blocks per
+    /// stripe — runs *outside* the coordinator lock, so repairs keep
+    /// planning and other clients keep reading while a large object lands;
+    /// the lock is taken only to reserve stripe ids and to publish the
+    /// metadata at the end.
+    ///
+    /// Fails with [`EcPipeError::InvalidRequest`] if an object of this name
+    /// already exists.
+    pub fn put(&self, name: &str, data: &[u8]) -> Result<ObjectMeta> {
+        let (n, k) = (self.code.n(), self.code.k());
+        let nodes = self.cluster().num_nodes();
+        let live: Vec<NodeId> = (0..nodes)
+            .filter(|&node| self.manager.node_health(node) != NodeHealth::Dead)
+            .collect();
+        if live.len() < n {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!("only {} live nodes, a stripe needs {n}", live.len()),
+            });
+        }
+        let block_size = self.layout.block_size;
+        let count = stripe_count(data.len(), k, block_size);
+        // Reserve stripe ids under the lock; encode and write without it,
+        // one stripe at a time so peak memory stays at object + stripe.
+        let ids = self.manager.with_coordinator(|c| {
+            if c.has_object(name) {
+                return Err(EcPipeError::InvalidRequest {
+                    reason: format!("object {name} already exists"),
+                });
+            }
+            Ok((0..count)
+                .map(|_| c.allocate_stripe_id())
+                .collect::<Vec<u64>>())
+        })?;
+        let mut stripes = Vec::with_capacity(count);
+        for (s, id) in ids.into_iter().enumerate() {
+            let blocks = chunk_stripe(data, k, block_size, s);
+            let placement: Vec<NodeId> = (0..n)
+                .map(|i| live[(id as usize + i) % live.len()])
+                .collect();
+            match self
+                .cluster()
+                .write_stripe_blocks(&self.code, id, &blocks, placement)
+            {
+                Ok(stripe) => stripes.push(stripe),
+                Err(error) => {
+                    // Roll back: stripes written so far are unregistered and
+                    // would otherwise leak storage forever (the failed
+                    // stripe cleans itself up in `write_stripe_blocks`).
+                    for &stripe in &stripes {
+                        self.cluster().delete_stripe(stripe);
+                    }
+                    return Err(error);
+                }
+            }
+        }
+        let meta = ObjectMeta {
+            name: name.to_string(),
+            size: data.len(),
+            stripes: stripes.clone(),
+        };
+        // Publish: register the stripes and the object in one critical
+        // section. A concurrent put of the same name loses the race and is
+        // rolled back.
+        let published = self.manager.with_coordinator(|c| {
+            if c.has_object(name) {
+                return false;
+            }
+            for &stripe in &stripes {
+                let placement = self
+                    .cluster()
+                    .placement(stripe)
+                    .expect("placement was just written");
+                c.register_stripe(stripe, placement);
+            }
+            c.register_object(meta.clone());
+            true
+        });
+        if !published {
+            for &stripe in &stripes {
+                self.cluster().delete_stripe(stripe);
+            }
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!("object {name} already exists"),
+            });
+        }
+        Ok(meta)
+    }
+
+    /// Reads a whole object back, byte-exact. Missing or corrupt blocks are
+    /// healed through the repair manager on the way.
+    pub fn get(&self, name: &str) -> Result<Vec<u8>> {
+        let meta = self.object_meta(name)?;
+        let range = 0..meta.size;
+        self.read_object_range(&meta, range)
+    }
+
+    /// Reads `range` of an object. Only the blocks the range overlaps are
+    /// touched; a partial block is read at slice granularity (verifying only
+    /// the checksum chunks the range covers). Missing or corrupt blocks are
+    /// healed through the repair manager first.
+    pub fn get_range(&self, name: &str, range: Range<usize>) -> Result<Vec<u8>> {
+        let meta = self.object_meta(name)?;
+        if range.start > range.end || range.end > meta.size {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!(
+                    "range {range:?} out of bounds for object {name} of {} bytes",
+                    meta.size
+                ),
+            });
+        }
+        self.read_object_range(&meta, range)
+    }
+
+    /// The shared read path: walks the blocks `range` overlaps, using the
+    /// cached code/layout so no coordinator lock is needed on a clean read.
+    fn read_object_range(&self, meta: &ObjectMeta, range: Range<usize>) -> Result<Vec<u8>> {
+        let block_size = self.layout.block_size;
+        let stripe_bytes = self.code.k() * block_size;
+        let mut out = Vec::with_capacity(range.end - range.start);
+        let mut offset = range.start;
+        while offset < range.end {
+            let stripe = meta.stripes[offset / stripe_bytes];
+            let block = (offset % stripe_bytes) / block_size;
+            let within = offset % block_size;
+            let take = (block_size - within).min(range.end - offset);
+            let bytes = self.read_healing(stripe, block, within..within + take, block_size)?;
+            out.extend_from_slice(&bytes);
+            offset += take;
+        }
+        Ok(out)
+    }
+
+    /// Reads one block range, healing the block through the manager when it
+    /// is missing or corrupt (up to [`Self::READ_ATTEMPTS`] attempts).
+    fn read_healing(
+        &self,
+        stripe: StripeId,
+        index: usize,
+        range: Range<usize>,
+        block_size: usize,
+    ) -> Result<bytes::Bytes> {
+        let block = ecc::stripe::BlockId { stripe, index };
+        let whole_block = range.start == 0 && range.end == block_size;
+        let read_from = |node: NodeId| {
+            if whole_block {
+                // Whole-block reads go through `get`, which verifies every
+                // checksum chunk on a checksummed store.
+                self.cluster().store(node).get(block)
+            } else {
+                self.cluster().store(node).get_range(block, range.clone())
+            }
+        };
+        for attempt in 0..Self::READ_ATTEMPTS {
+            let holder = self.cluster().node_of(stripe, index)?;
+            match read_from(holder) {
+                Ok(bytes) => return Ok(bytes),
+                Err(EcPipeError::BlockNotFound { .. }) => {
+                    // A repaired copy can sit on a node the placement
+                    // cannot name (relocation is refused when it would
+                    // co-locate two blocks of a stripe — certain when the
+                    // cluster has no spare nodes). Serve such stray copies
+                    // rather than repairing the block again and again.
+                    if let Some(node) = self.cluster().find_block(block) {
+                        if let Ok(bytes) = read_from(node) {
+                            return Ok(bytes);
+                        }
+                    }
+                    if attempt + 1 == Self::READ_ATTEMPTS {
+                        return Err(EcPipeError::BlockNotFound { block });
+                    }
+                    self.heal(stripe, index, false)?;
+                }
+                Err(error @ EcPipeError::CorruptBlock { .. }) => {
+                    if attempt + 1 == Self::READ_ATTEMPTS {
+                        return Err(error);
+                    }
+                    self.heal(stripe, index, true)?;
+                }
+                Err(error) => return Err(error),
+            }
+        }
+        unreachable!("the read loop returns before running off its attempts")
+    }
+
+    /// Enqueues a degraded read for one block and waits for that block (and
+    /// only that block) to leave the repair queue. If the block is already
+    /// queued at a lower priority (corruption or background recovery), the
+    /// queued request is promoted to the degraded class — a client is
+    /// blocked on it now.
+    ///
+    /// A corrupt block is healed in place — the node serving the rot gets
+    /// the reconstruction, overwriting the bad bytes and refreshing the
+    /// checksums. A missing block is rebuilt onto its recorded holder when
+    /// that node is live (an erased block on a healthy node), otherwise onto
+    /// a live node holding nothing of the stripe.
+    fn heal(&self, stripe: StripeId, index: usize, in_place: bool) -> Result<()> {
+        let holder = self.cluster().node_of(stripe, index)?;
+        let requestor = if in_place || self.manager.node_health(holder) != NodeHealth::Dead {
+            holder
+        } else {
+            let placement = self.cluster().placement(stripe).unwrap_or_default();
+            (0..self.cluster().num_nodes())
+                .find(|n| {
+                    self.manager.node_health(*n) != NodeHealth::Dead && !placement.contains(n)
+                })
+                .unwrap_or(holder)
+        };
+        // A client is blocked on these bytes right now, so this is a
+        // degraded read regardless of what broke the block (§3.2); the
+        // scrubber's background sweeps use `Corruption` priority instead.
+        self.manager.degraded_read(stripe, index, requestor)?;
+        self.manager.wait_for_block(stripe, index);
+        Ok(())
+    }
+
+    /// Deletes an object: unregisters it, drops its stripes' metadata and
+    /// erases their blocks. Repairs already queued for those stripes fail
+    /// harmlessly (the stripe is gone) and show up in the shutdown report.
+    pub fn delete(&self, name: &str) -> Result<ObjectMeta> {
+        let meta = self.manager.with_coordinator(|c| {
+            let meta = c
+                .remove_object(name)
+                .ok_or_else(|| EcPipeError::InvalidRequest {
+                    reason: format!("no such object: {name}"),
+                })?;
+            for &stripe in &meta.stripes {
+                c.forget_stripe(stripe);
+            }
+            Ok::<_, EcPipeError>(meta)
+        })?;
+        for &stripe in &meta.stripes {
+            self.cluster().delete_stripe(stripe);
+        }
+        Ok(meta)
+    }
+
+    /// Metadata of a stored object.
+    pub fn object_meta(&self, name: &str) -> Result<ObjectMeta> {
+        self.manager.with_coordinator(|c| c.object(name).cloned())
+    }
+
+    /// All stored objects, ordered by name.
+    pub fn objects(&self) -> Vec<ObjectMeta> {
+        self.manager
+            .with_coordinator(|c| c.objects().into_iter().cloned().collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection and observability passthroughs.
+    // ------------------------------------------------------------------
+
+    /// Deletes every block a node stores (a full node failure). Pair with
+    /// [`report_node_failure`](Self::report_node_failure) to start
+    /// background recovery; an unreported kill is discovered by liveness
+    /// strikes or the degraded reads of later `get`s.
+    pub fn kill_node(&self, node: NodeId) -> Vec<ecc::stripe::BlockId> {
+        self.cluster().kill_node(node)
+    }
+
+    /// Erases one block of a stripe (a lost or unavailable block). Returns
+    /// whether the block was present.
+    pub fn erase_block(&self, stripe: StripeId, index: usize) -> bool {
+        self.cluster().erase_block(stripe, index)
+    }
+
+    /// Flips one byte of a stored block, leaving checksums stale (silent
+    /// bit-rot; detectable only on checksummed backends).
+    pub fn corrupt(&self, stripe: StripeId, index: usize, offset: usize) -> Result<()> {
+        self.cluster().corrupt_block(stripe, index, offset)
+    }
+
+    /// Verifies one block's integrity on the node holding it.
+    pub fn verify_block(&self, stripe: StripeId, index: usize) -> Result<()> {
+        self.cluster().verify_block(stripe, index)
+    }
+
+    /// Declares a node dead and enqueues background recovery of every block
+    /// it held. Returns the number of repairs queued.
+    pub fn report_node_failure(&self, node: NodeId) -> usize {
+        self.manager.report_node_failure(node)
+    }
+
+    /// The manager's current view of a node's health.
+    pub fn node_health(&self, node: NodeId) -> NodeHealth {
+        self.manager.node_health(node)
+    }
+
+    /// Runs one synchronous scrub cycle over every live node's blocks.
+    pub fn scrub(&self, config: &ScrubConfig) -> ScrubCycle {
+        self.manager.scrub(config)
+    }
+
+    /// Starts a background scrubber thread.
+    pub fn start_scrubber(&self, config: ScrubConfig) -> Scrubber {
+        self.manager.start_scrubber(config)
+    }
+
+    /// Blocks until no repair is queued or in flight.
+    pub fn wait_idle(&self) {
+        self.manager.wait_idle();
+    }
+
+    /// Number of repairs waiting in the queue.
+    pub fn queued(&self) -> usize {
+        self.manager.queued()
+    }
+
+    /// The cluster underneath (stores, placements).
+    pub fn cluster(&self) -> &Cluster {
+        self.manager.cluster()
+    }
+
+    /// The transport underneath (byte accounting).
+    pub fn transport(&self) -> &AnyTransport {
+        self.manager.transport()
+    }
+
+    /// The repair-manager daemon underneath, for lower-level orchestration
+    /// (explicit priorities, liveness snapshots).
+    pub fn manager(&self) -> &RepairManager<AnyTransport> {
+        &self.manager
+    }
+
+    /// Runs `f` with exclusive access to the coordinator (stripe and object
+    /// metadata, repair planning).
+    pub fn with_coordinator<R>(&self, f: impl FnOnce(&mut Coordinator) -> R) -> R {
+        self.manager.with_coordinator(f)
+    }
+
+    /// Graceful shutdown: drains the repair queue, stops the workers and
+    /// returns the run's [`ManagerReport`].
+    pub fn shutdown(self) -> ManagerReport {
+        self.manager.shutdown()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::Transport;
+
+    fn pattern(len: usize, seed: u64) -> Vec<u8> {
+        (0..len)
+            .map(|i| ((i as u64 * 31 + seed * 17 + 7) % 251) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn put_get_roundtrip_multi_stripe_unaligned() {
+        let pipe = EcPipeBuilder::new()
+            .code(6, 4)
+            .block_size(4096)
+            .slice_size(1024)
+            .store(StoreBackend::memory(9))
+            .build()
+            .unwrap();
+        // 2 full stripes plus a ragged tail.
+        let data = pattern(2 * 4 * 4096 + 1234, 3);
+        let meta = pipe.put("/obj", &data).unwrap();
+        assert_eq!(meta.stripes.len(), 3);
+        assert_eq!(pipe.get("/obj").unwrap(), data);
+        // Range reads at awkward offsets.
+        for range in [0..1, 4000..4200, 16000..17000, data.len() - 5..data.len()] {
+            assert_eq!(pipe.get_range("/obj", range.clone()).unwrap(), &data[range]);
+        }
+        assert_eq!(pipe.objects().len(), 1);
+        pipe.shutdown();
+    }
+
+    #[test]
+    fn put_rejects_duplicates_and_get_rejects_unknown() {
+        let pipe = EcPipeBuilder::new().build().unwrap();
+        pipe.put("/a", &pattern(100, 1)).unwrap();
+        assert!(pipe.put("/a", &pattern(100, 2)).is_err());
+        assert!(pipe.get("/missing").is_err());
+        assert!(pipe.get_range("/a", 50..200).is_err());
+        pipe.shutdown();
+    }
+
+    #[test]
+    fn delete_frees_the_name_and_the_blocks() {
+        let pipe = EcPipeBuilder::new().build().unwrap();
+        let data = pattern(100_000, 5);
+        let meta = pipe.put("/tmp", &data).unwrap();
+        let deleted = pipe.delete("/tmp").unwrap();
+        assert_eq!(deleted.stripes, meta.stripes);
+        assert!(pipe.get("/tmp").is_err());
+        assert!(pipe.delete("/tmp").is_err());
+        for &stripe in &meta.stripes {
+            assert!(pipe.cluster().read_block(stripe, 0).is_err());
+        }
+        // The name and storage are reusable; stripe ids are not recycled.
+        let again = pipe.put("/tmp", &data).unwrap();
+        assert!(again.stripes.iter().all(|s| !meta.stripes.contains(s)));
+        assert_eq!(pipe.get("/tmp").unwrap(), data);
+        pipe.shutdown();
+    }
+
+    #[test]
+    fn empty_object_roundtrips() {
+        let pipe = EcPipeBuilder::new().build().unwrap();
+        let meta = pipe.put("/empty", &[]).unwrap();
+        assert_eq!(meta.size, 0);
+        assert_eq!(meta.stripes.len(), 1);
+        assert_eq!(pipe.get("/empty").unwrap(), Vec::<u8>::new());
+        pipe.shutdown();
+    }
+
+    #[test]
+    fn get_survives_an_erased_block() {
+        let pipe = EcPipeBuilder::new()
+            .block_size(4096)
+            .slice_size(512)
+            .store(StoreBackend::memory(8))
+            .build()
+            .unwrap();
+        let data = pattern(4 * 4096, 9);
+        let meta = pipe.put("/x", &data).unwrap();
+        pipe.erase_block(meta.stripes[0], 1);
+        assert_eq!(pipe.get("/x").unwrap(), data);
+        // The heal wrote the block back; a second read is fully native.
+        let bytes_after_heal = pipe.transport().total_bytes();
+        assert_eq!(pipe.get("/x").unwrap(), data);
+        assert_eq!(pipe.transport().total_bytes(), bytes_after_heal);
+        let report = pipe.shutdown();
+        assert_eq!(report.blocks_repaired, 1);
+        assert_eq!(report.degraded_wait.count, 1);
+    }
+
+    #[test]
+    fn builder_rejects_too_few_nodes() {
+        assert!(EcPipeBuilder::new()
+            .code(6, 4)
+            .store(StoreBackend::memory(5))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn chunking_pads_and_tiles() {
+        let chunks = chunk_into_stripes(&pattern(10, 0), 2, 4);
+        // 10 bytes over (k=2, block=4) stripes: 2 stripes, last block padded.
+        assert_eq!(chunks.len(), 2);
+        assert!(chunks.iter().all(|s| s.len() == 2));
+        assert!(chunks.iter().flatten().all(|b| b.len() == 4));
+        assert_eq!(&chunks[1][0][..2], &pattern(10, 0)[8..10]);
+        assert_eq!(&chunks[1][1], &[0u8; 4]);
+        // Empty data still produces one (all-zero) stripe.
+        assert_eq!(chunk_into_stripes(&[], 3, 8).len(), 1);
+    }
+}

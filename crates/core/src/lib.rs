@@ -44,28 +44,36 @@
 //! [`EcPipeError::CorruptBlock`], which fails a repair stream cleanly
 //! instead of letting poisoned bytes into the GF(2^8) combination.
 //!
+//! The public entry point is the [`EcPipe`] façade: [`EcPipeBuilder`]
+//! assembles code, layout, [`StoreBackend`], transport and manager
+//! configuration into one handle, and `put`/`get`/`get_range` give the
+//! runtime an object-level data path whose reads transparently fall back
+//! to manager-prioritized degraded reads. The layers underneath
+//! ([`Coordinator`], [`exec`], [`RepairManager`]) stay public for code
+//! that orchestrates repairs directly.
+//!
 //! # Examples
 //!
 //! ```
-//! use ecc::slice::SliceLayout;
-//! use ecpipe::{Cluster, Coordinator, ExecStrategy};
-//! use ecc::ReedSolomon;
-//! use std::sync::Arc;
+//! use ecpipe::{EcPipeBuilder, StoreBackend};
 //!
-//! // A 6-node cluster storing one (6,4) stripe of 4 KiB blocks.
-//! let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
-//! let layout = SliceLayout::new(4096, 1024);
-//! let mut cluster = Cluster::in_memory(6);
-//! let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 4096]).collect();
-//! let mut coordinator = Coordinator::new(code.clone(), layout);
-//! let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
-//!
-//! // Erase block 2 and repair it onto node 5 with repair pipelining.
-//! cluster.erase_block(stripe, 2);
-//! let repaired = cluster
-//!     .repair(&mut coordinator, stripe, 2, 5, ExecStrategy::RepairPipelining)
+//! // An 8-node in-memory cluster with a (6, 4) code.
+//! let pipe = EcPipeBuilder::new()
+//!     .code(6, 4)
+//!     .block_size(4096)
+//!     .slice_size(1024)
+//!     .store(StoreBackend::memory(8))
+//!     .build()
 //!     .unwrap();
-//! assert_eq!(repaired, data[2]);
+//!
+//! // Write an object, lose a block, read the object back byte-exact: the
+//! // missing block is rebuilt by a degraded read through the repair
+//! // manager on the way.
+//! let data: Vec<u8> = (0..40_000).map(|i| (i % 251) as u8).collect();
+//! let meta = pipe.put("/objects/demo", &data).unwrap();
+//! pipe.erase_block(meta.stripes[0], 2);
+//! assert_eq!(pipe.get("/objects/demo").unwrap(), data);
+//! assert_eq!(pipe.shutdown().blocks_repaired, 1);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -75,6 +83,7 @@ mod cluster;
 mod coordinator;
 mod error;
 pub mod exec;
+mod facade;
 pub mod integrity;
 pub mod manager;
 pub mod recovery;
@@ -83,17 +92,20 @@ pub mod transport;
 
 pub use cluster::Cluster;
 pub use coordinator::{
-    Coordinator, MultiRepairDirective, RepairDirective, SelectionPolicy, StripeMeta,
+    Coordinator, MultiRepairDirective, ObjectMeta, RepairDirective, SelectionPolicy, StripeMeta,
 };
 pub use error::EcPipeError;
 pub use exec::ExecStrategy;
+pub use facade::{
+    chunk_into_stripes, chunk_stripe, stripe_count, EcPipe, EcPipeBuilder, TransportChoice,
+};
 pub use integrity::{BlockChecksums, ChecksummedStore, DEFAULT_CHUNK_SIZE};
 pub use manager::{
     ManagerConfig, ManagerReport, NodeHealth, RepairManager, RepairPriority, RepairRequest,
     ScrubConfig, ScrubCycle, Scrubber,
 };
-pub use store::{BlockStore, FileStore, MemoryStore};
-pub use transport::{ChannelTransport, TcpTransport, Transport, TransportError};
+pub use store::{BlockStore, FileStore, MemoryStore, StoreBackend};
+pub use transport::{AnyTransport, ChannelTransport, TcpTransport, Transport, TransportError};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, EcPipeError>;

@@ -239,11 +239,11 @@ struct DaemonShared<T> {
 /// use ecc::ReedSolomon;
 /// use ecpipe::manager::{ManagerConfig, RepairManager};
 /// use ecpipe::transport::ChannelTransport;
-/// use ecpipe::{Cluster, Coordinator};
+/// use ecpipe::{Cluster, Coordinator, StoreBackend};
 ///
 /// let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
 /// let mut coordinator = Coordinator::new(code, SliceLayout::new(4096, 1024));
-/// let mut cluster = Cluster::in_memory(10);
+/// let cluster = Cluster::new(StoreBackend::memory(10)).unwrap();
 /// let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; 4096]).collect();
 /// for s in 0..4 {
 ///     cluster.write_stripe(&mut coordinator, s, &data).unwrap();
@@ -314,19 +314,27 @@ impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
     }
 
     /// Enqueues a degraded read — highest priority — reconstructing block
-    /// `failed` of `stripe` onto `requestor`.
+    /// `failed` of `stripe` onto `requestor`. If the block is already
+    /// queued at a lower priority (e.g. as part of a background node
+    /// recovery), the queued request is promoted to the degraded class
+    /// instead: a client is blocked on it *now*, so it must not wait out
+    /// the rest of the recovery.
     pub fn degraded_read(
         &self,
         stripe: ecc::stripe::StripeId,
         failed: usize,
         requestor: NodeId,
     ) -> Result<bool> {
-        self.enqueue(RepairRequest {
+        let queued = self.enqueue(RepairRequest {
             stripe,
             failed,
             requestor,
             priority: RepairPriority::DegradedRead,
-        })
+        })?;
+        if !queued {
+            self.shared.engine.queue.promote_to_degraded(stripe, failed);
+        }
+        Ok(queued)
     }
 
     /// Declares a node dead and enqueues background recovery for every
@@ -359,6 +367,22 @@ impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
     /// Blocks until no repair is queued or in flight.
     pub fn wait_idle(&self) {
         self.shared.engine.wait_idle();
+    }
+
+    /// Blocks until block `failed` of `stripe` is neither queued nor in
+    /// flight — the wait a degraded read performs without draining the rest
+    /// of the queue. Returns immediately when the block is not scheduled.
+    /// Says nothing about success: re-read the store to find out.
+    pub fn wait_for_block(&self, stripe: ecc::stripe::StripeId, failed: usize) {
+        self.shared.engine.wait_for((stripe.0, failed));
+    }
+
+    /// Runs `f` with exclusive access to the daemon's coordinator — how the
+    /// [`EcPipe`](crate::EcPipe) façade registers new stripes and objects
+    /// while repairs are running.
+    pub fn with_coordinator<R>(&self, f: impl FnOnce(&mut Coordinator) -> R) -> R {
+        let mut guard = self.shared.coordinator.lock();
+        f(&mut guard)
     }
 
     /// The cluster the manager repairs into (e.g. to read reconstructed
@@ -432,7 +456,7 @@ mod tests {
     fn setup(stripes: u64, nodes: usize) -> (Cluster, Coordinator, Vec<Vec<Vec<u8>>>) {
         let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
         let mut coordinator = Coordinator::new(code, SliceLayout::new(2048, 256));
-        let mut cluster = Cluster::in_memory(nodes);
+        let cluster = Cluster::new(crate::StoreBackend::memory(nodes)).unwrap();
         let mut all = Vec::new();
         for s in 0..stripes {
             let data: Vec<Vec<u8>> = (0..4)
@@ -508,6 +532,60 @@ mod tests {
         let config = ManagerConfig::default();
         assert!(recover_node(&mut coordinator, &cluster, &transport, 0, &[], &config).is_err());
         assert!(recover_node(&mut coordinator, &cluster, &transport, 0, &[0], &config).is_err());
+    }
+
+    #[test]
+    fn degraded_read_promotes_queued_background_work() {
+        let (cluster, coordinator, data) = setup(3, 10);
+        for s in 0..3u64 {
+            cluster.erase_block(StripeId(s), 0);
+        }
+        // One slow worker, so the queue stays observable: links are
+        // throttled hard enough that each repair takes tens of ms.
+        let manager = RepairManager::start(
+            coordinator,
+            cluster,
+            ChannelTransport::with_rate_limit(128 * 1024),
+            ManagerConfig::default().with_workers(1),
+        );
+        for s in 0..3u64 {
+            assert!(manager
+                .enqueue(RepairRequest {
+                    stripe: StripeId(s),
+                    failed: 0,
+                    requestor: 9,
+                    priority: RepairPriority::Background,
+                })
+                .unwrap());
+        }
+        // Wait until the worker picked up the first repair; stripes 1 and 2
+        // are still queued as background work.
+        while manager.queued() > 2 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        // A client now blocks on stripe 2's block: the duplicate enqueue is
+        // dropped but the queued request must be promoted past stripe 1.
+        assert!(!manager.degraded_read(StripeId(2), 0, 9).unwrap());
+        manager.wait_for_block(StripeId(2), 0);
+        let store = manager.cluster().store(9);
+        assert!(store.contains(ecc::stripe::BlockId::new(2, 0)));
+        assert!(
+            !store.contains(ecc::stripe::BlockId::new(1, 0)),
+            "stripe 2 must jump the background queue ahead of stripe 1"
+        );
+        manager.wait_idle();
+        assert_eq!(
+            manager
+                .cluster()
+                .store(9)
+                .get(ecc::stripe::BlockId::new(2, 0))
+                .unwrap(),
+            bytes::Bytes::from(data[2][0].clone())
+        );
+        let report = manager.shutdown();
+        // The promoted repair is accounted to the degraded class.
+        assert_eq!(report.degraded_wait.count, 1);
+        assert_eq!(report.background_wait.count, 2);
     }
 
     #[test]

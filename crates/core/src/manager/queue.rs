@@ -15,6 +15,7 @@ use simnet::NodeId;
 
 /// Priority class of a repair. Lower is more urgent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
 pub enum RepairPriority {
     /// A degraded read: a client is waiting for this block (§3.2). Pops
     /// before any queued corruption or background work.
@@ -31,12 +32,22 @@ pub enum RepairPriority {
 
 impl RepairPriority {
     /// A short label for reports and logs.
+    #[deprecated(since = "0.2.0", note = "use the `Display` impl instead")]
     pub fn label(&self) -> &'static str {
         match self {
             RepairPriority::DegradedRead => "degraded-read",
             RepairPriority::Corruption => "corruption",
             RepairPriority::Background => "background",
         }
+    }
+}
+
+impl std::fmt::Display for RepairPriority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // One string table: the deprecated alias keeps serving it until it
+        // is removed. `pad` honors width/alignment options in table output.
+        #[allow(deprecated)]
+        f.pad(self.label())
     }
 }
 
@@ -125,6 +136,34 @@ impl RepairQueue {
         }
     }
 
+    /// Promotes a still-queued repair of `(stripe, failed)` to the
+    /// degraded-read class — a client is now blocked on a block that was
+    /// only queued for corruption or background repair. Returns `false`
+    /// when the request is not waiting in a lower class (already degraded,
+    /// in flight, or unknown); in-flight work cannot be promoted.
+    pub(crate) fn promote_to_degraded(&self, stripe: StripeId, failed: usize) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let matches = |q: &QueuedRepair| q.request.stripe == stripe && q.request.failed == failed;
+        let found = if let Some(pos) = inner.corruption.iter().position(matches) {
+            inner.corruption.remove(pos)
+        } else if let Some(pos) = inner.background.iter().position(matches) {
+            inner.background.remove(pos)
+        } else {
+            None
+        };
+        let Some(mut queued) = found else {
+            return false;
+        };
+        // Reclassify so the wait is accounted to the degraded class; the
+        // original enqueue instant is kept (the client inherits the whole
+        // wait).
+        queued.request.priority = RepairPriority::DegradedRead;
+        inner.degraded.push_back(queued);
+        drop(inner);
+        self.available.notify_one();
+        true
+    }
+
     /// Closes the queue: no further pushes are accepted, and `pop` returns
     /// `None` once the remaining work is drained.
     pub(crate) fn close(&self) {
@@ -164,6 +203,24 @@ mod tests {
         assert_eq!(q.pop().unwrap().request.stripe, StripeId(4));
         assert_eq!(q.pop().unwrap().request.stripe, StripeId(1));
         assert_eq!(q.pop().unwrap().request.stripe, StripeId(2));
+    }
+
+    #[test]
+    fn promote_moves_queued_background_work_to_degraded() {
+        let q = RepairQueue::new();
+        q.push(request(1, RepairPriority::Background));
+        q.push(request(2, RepairPriority::Background));
+        q.push(request(3, RepairPriority::Corruption));
+        assert!(q.promote_to_degraded(StripeId(2), 0));
+        assert!(q.promote_to_degraded(StripeId(3), 0));
+        // Unknown or already-degraded requests are not promoted.
+        assert!(!q.promote_to_degraded(StripeId(9), 0));
+        assert!(!q.promote_to_degraded(StripeId(2), 0));
+        let popped = q.pop().unwrap();
+        assert_eq!(popped.request.stripe, StripeId(2));
+        assert_eq!(popped.request.priority, RepairPriority::DegradedRead);
+        assert_eq!(q.pop().unwrap().request.stripe, StripeId(3));
+        assert_eq!(q.pop().unwrap().request.stripe, StripeId(1));
     }
 
     #[test]

@@ -142,6 +142,9 @@ pub(crate) struct EngineState {
     /// Blocks currently queued or in flight, so a block is never repaired
     /// twice concurrently (degraded read racing auto-recovery).
     scheduled: Mutex<HashSet<(u64, usize)>>,
+    /// Notified whenever a block leaves `scheduled`, so callers can wait for
+    /// one specific repair without draining the whole queue.
+    scheduled_changed: Condvar,
     /// Round-robin requestor pool for auto-enqueued node recovery.
     auto_requestors: Vec<NodeId>,
     auto_rr: AtomicUsize,
@@ -160,6 +163,7 @@ impl EngineState {
             pending: Mutex::new(0),
             idle: Condvar::new(),
             scheduled: Mutex::new(HashSet::new()),
+            scheduled_changed: Condvar::new(),
             auto_requestors: config.auto_requestors.clone(),
             auto_rr: AtomicUsize::new(0),
         }
@@ -177,9 +181,27 @@ impl EngineState {
         if self.queue.push(request) {
             Ok(true)
         } else {
-            self.scheduled.lock().unwrap().remove(&key);
+            self.unschedule(key);
             self.finish_pending();
             Err(EcPipeError::ManagerShutdown)
+        }
+    }
+
+    /// Removes a block from the scheduled set and wakes anyone waiting for
+    /// that specific repair to finish.
+    fn unschedule(&self, key: (u64, usize)) {
+        self.scheduled.lock().unwrap().remove(&key);
+        self.scheduled_changed.notify_all();
+    }
+
+    /// Blocks until block `key.1` of stripe `key.0` is neither queued nor in
+    /// flight. Returns immediately when the block was never scheduled; says
+    /// nothing about whether the repair succeeded — callers re-read the
+    /// store (or the metrics) to find out.
+    pub(crate) fn wait_for(&self, key: (u64, usize)) {
+        let mut scheduled = self.scheduled.lock().unwrap();
+        while scheduled.contains(&key) {
+            scheduled = self.scheduled_changed.wait(scheduled).unwrap();
         }
     }
 
@@ -319,7 +341,7 @@ pub(crate) fn worker_loop<C, T>(
     while let Some(job) = engine.queue.pop() {
         let key = (job.request.stripe.0, job.request.failed);
         if engine.aborted() {
-            engine.scheduled.lock().unwrap().remove(&key);
+            engine.unschedule(key);
             engine.finish_pending();
             continue;
         }
@@ -356,7 +378,7 @@ pub(crate) fn worker_loop<C, T>(
                 }
             }
         }
-        engine.scheduled.lock().unwrap().remove(&key);
+        engine.unschedule(key);
         engine.finish_pending();
     }
 }
@@ -418,6 +440,23 @@ where
             requestors.push(candidate);
         }
     }
+    if config.relocate_on_success {
+        // When the repaired copy must take over the block's placement,
+        // prefer requestors holding no *other* block of the stripe: the
+        // coordinator refuses relocations that would co-locate two blocks,
+        // which would leave the copy unplaceable and force a second repair
+        // on the next read. Stable sort keeps the requested node first
+        // among equally suitable candidates.
+        let holders = coord
+            .with(|c| c.stripe(request.stripe).map(|m| m.locations.clone()))
+            .unwrap_or_default();
+        requestors.sort_by_key(|r| {
+            holders
+                .iter()
+                .enumerate()
+                .any(|(i, &n)| i != request.failed && n == *r)
+        });
+    }
     let mut requestor_idx = 0usize;
     let mut excluded: Vec<usize> = Vec::new();
     let mut replans = 0usize;
@@ -476,10 +515,22 @@ where
                 }
                 engine.liveness.record_success(&directive.helper_nodes());
                 if config.relocate_on_success {
-                    if let Err(error) =
-                        coord.with(|c| c.relocate_block(request.stripe, request.failed, requestor))
+                    // Keep the coordinator's and the cluster's placement
+                    // views in step; the coordinator refuses relocations
+                    // that would put two blocks of a stripe on one node, in
+                    // which case the cluster mapping must not move either.
+                    match coord
+                        .with(|c| c.relocate_block(request.stripe, request.failed, requestor))
                     {
-                        return Err(RepairFailure { error, replans });
+                        Ok(true) => {
+                            if let Err(error) =
+                                cluster.relocate(request.stripe, request.failed, requestor)
+                            {
+                                return Err(RepairFailure { error, replans });
+                            }
+                        }
+                        Ok(false) => {}
+                        Err(error) => return Err(RepairFailure { error, replans }),
                     }
                 }
                 return Ok(Done {

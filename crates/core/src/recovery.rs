@@ -185,7 +185,7 @@ mod tests {
     fn setup(stripes: u64) -> (Cluster, Coordinator, Vec<Vec<Vec<u8>>>) {
         let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
         let mut coordinator = Coordinator::new(code, SliceLayout::new(2048, 256));
-        let mut cluster = Cluster::in_memory(10);
+        let cluster = Cluster::new(crate::StoreBackend::memory(10)).unwrap();
         let mut all_data = Vec::new();
         for s in 0..stripes {
             let data: Vec<Vec<u8>> = (0..4)

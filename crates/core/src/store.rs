@@ -12,9 +12,11 @@
 //! read.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -23,6 +25,157 @@ use ecc::stripe::BlockId;
 
 use crate::integrity::ChecksummedStore;
 use crate::{EcPipeError, Result};
+
+/// How the nodes of a [`Cluster`](crate::Cluster) store their blocks.
+///
+/// One typed choice replaces the historical constructor sprawl
+/// (`Cluster::in_memory`, `Cluster::in_memory_checksummed`,
+/// `Cluster::from_stores`): pass a backend to
+/// [`Cluster::new`](crate::Cluster::new) or to
+/// [`EcPipeBuilder::store`](crate::EcPipeBuilder::store).
+///
+/// ```
+/// use ecpipe::{Cluster, StoreBackend};
+///
+/// let cluster = Cluster::new(StoreBackend::memory(8)).unwrap();
+/// assert_eq!(cluster.num_nodes(), 8);
+/// ```
+#[derive(Clone)]
+#[non_exhaustive]
+pub enum StoreBackend {
+    /// Plain in-memory stores ([`MemoryStore`]), the fast default for tests
+    /// and benches. Injected corruption is *undetectable* on this backend.
+    Memory {
+        /// Number of storage nodes.
+        nodes: usize,
+    },
+    /// In-memory stores wrapped in [`ChecksummedStore`]: every read verifies
+    /// per-chunk CRC-32 checksums, so injected bit-rot surfaces as
+    /// [`EcPipeError::CorruptBlock`] instead of poisoning repairs.
+    MemoryChecksummed {
+        /// Number of storage nodes.
+        nodes: usize,
+    },
+    /// File-backed stores ([`FileStore`]): node `i` keeps its blocks as
+    /// plain files under `root/node-<i>`, mirroring the HDFS/QFS layout.
+    File {
+        /// Directory that receives one `node-<i>` subdirectory per node.
+        root: PathBuf,
+        /// Number of storage nodes.
+        nodes: usize,
+    },
+    /// File-backed stores with persisted `.crc` checksum sidecars
+    /// ([`FileStore::open_checksummed`]).
+    FileChecksummed {
+        /// Directory that receives one `node-<i>` subdirectory per node.
+        root: PathBuf,
+        /// Number of storage nodes.
+        nodes: usize,
+    },
+    /// Explicit per-node stores, for mixed or custom deployments.
+    Custom {
+        /// One store per node, in node-id order.
+        stores: Vec<Arc<dyn BlockStore>>,
+    },
+}
+
+impl StoreBackend {
+    /// Plain in-memory stores for `nodes` nodes.
+    pub fn memory(nodes: usize) -> Self {
+        StoreBackend::Memory { nodes }
+    }
+
+    /// Checksum-verifying in-memory stores for `nodes` nodes.
+    pub fn memory_checksummed(nodes: usize) -> Self {
+        StoreBackend::MemoryChecksummed { nodes }
+    }
+
+    /// File-backed stores rooted at `root`, one subdirectory per node.
+    pub fn file(root: impl AsRef<Path>, nodes: usize) -> Self {
+        StoreBackend::File {
+            root: root.as_ref().to_path_buf(),
+            nodes,
+        }
+    }
+
+    /// File-backed stores with persisted checksum sidecars.
+    pub fn file_checksummed(root: impl AsRef<Path>, nodes: usize) -> Self {
+        StoreBackend::FileChecksummed {
+            root: root.as_ref().to_path_buf(),
+            nodes,
+        }
+    }
+
+    /// Explicit per-node stores.
+    pub fn custom(stores: Vec<Arc<dyn BlockStore>>) -> Self {
+        StoreBackend::Custom { stores }
+    }
+
+    /// The number of nodes this backend describes.
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            StoreBackend::Memory { nodes }
+            | StoreBackend::MemoryChecksummed { nodes }
+            | StoreBackend::File { nodes, .. }
+            | StoreBackend::FileChecksummed { nodes, .. } => *nodes,
+            StoreBackend::Custom { stores } => stores.len(),
+        }
+    }
+
+    /// Builds the per-node stores. File-backed variants create their
+    /// directories, so this is the only fallible step.
+    pub fn build(self) -> Result<Vec<Arc<dyn BlockStore>>> {
+        match self {
+            StoreBackend::Memory { nodes } => Ok((0..nodes)
+                .map(|_| Arc::new(MemoryStore::new()) as Arc<dyn BlockStore>)
+                .collect()),
+            StoreBackend::MemoryChecksummed { nodes } => Ok((0..nodes)
+                .map(|_| Arc::new(ChecksummedStore::new(MemoryStore::new())) as Arc<dyn BlockStore>)
+                .collect()),
+            StoreBackend::File { root, nodes } => (0..nodes)
+                .map(|i| {
+                    FileStore::open(root.join(format!("node-{i}")))
+                        .map(|s| Arc::new(s) as Arc<dyn BlockStore>)
+                })
+                .collect(),
+            StoreBackend::FileChecksummed { root, nodes } => (0..nodes)
+                .map(|i| {
+                    FileStore::open_checksummed(root.join(format!("node-{i}")))
+                        .map(|s| Arc::new(s) as Arc<dyn BlockStore>)
+                })
+                .collect(),
+            StoreBackend::Custom { stores } => Ok(stores),
+        }
+    }
+}
+
+impl fmt::Debug for StoreBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreBackend::Memory { nodes } => {
+                f.debug_struct("Memory").field("nodes", nodes).finish()
+            }
+            StoreBackend::MemoryChecksummed { nodes } => f
+                .debug_struct("MemoryChecksummed")
+                .field("nodes", nodes)
+                .finish(),
+            StoreBackend::File { root, nodes } => f
+                .debug_struct("File")
+                .field("root", root)
+                .field("nodes", nodes)
+                .finish(),
+            StoreBackend::FileChecksummed { root, nodes } => f
+                .debug_struct("FileChecksummed")
+                .field("root", root)
+                .field("nodes", nodes)
+                .finish(),
+            StoreBackend::Custom { stores } => f
+                .debug_struct("Custom")
+                .field("nodes", &stores.len())
+                .finish(),
+        }
+    }
+}
 
 /// A node-local store of erasure-coded blocks.
 ///

@@ -392,6 +392,45 @@ impl Transport for ChannelTransport {
     }
 }
 
+/// A backend chosen at runtime: either in-process channels or localhost TCP
+/// behind one concrete type, so runtime handles like
+/// [`EcPipe`](crate::EcPipe) can own "some transport" without being generic
+/// over it.
+pub enum AnyTransport {
+    /// In-process bounded channels ([`ChannelTransport`]).
+    Channel(ChannelTransport),
+    /// Localhost TCP sockets ([`TcpTransport`]).
+    Tcp(TcpTransport),
+}
+
+impl Transport for AnyTransport {
+    fn link(&self, src: NodeId, dst: NodeId, capacity: usize) -> (SliceSender, SliceReceiver) {
+        match self {
+            AnyTransport::Channel(t) => t.link(src, dst, capacity),
+            AnyTransport::Tcp(t) => t.link(src, dst, capacity),
+        }
+    }
+
+    fn stats(&self) -> &StatsRegistry {
+        match self {
+            AnyTransport::Channel(t) => t.stats(),
+            AnyTransport::Tcp(t) => t.stats(),
+        }
+    }
+}
+
+impl From<ChannelTransport> for AnyTransport {
+    fn from(t: ChannelTransport) -> Self {
+        AnyTransport::Channel(t)
+    }
+}
+
+impl From<TcpTransport> for AnyTransport {
+    fn from(t: TcpTransport) -> Self {
+        AnyTransport::Tcp(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

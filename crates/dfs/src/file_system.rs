@@ -6,6 +6,19 @@
 //! failures, degraded reads and full-node recovery. Blocks live in per-node
 //! [`ecpipe::BlockStore`]s and repairs run on the real ECPipe runtime, so
 //! every reconstructed byte can be checked.
+//!
+//! **How this relates to the [`ecpipe::EcPipe`] façade:** the façade is the
+//! runtime's own client API — the thing a production deployment would call.
+//! `SimulatedDfs` deliberately stays *beside* it, modeling the semantics of
+//! a third-party storage system that ECPipe integrates *into*: it has a
+//! profile-driven block size and encoding mode (offline RaidNode passes),
+//! counts reads served through the storage routine versus natively by
+//! helpers, and chooses between the system's original repair path and the
+//! ECPipe path per read ([`RepairPath`]). The two share the low-level
+//! machinery (cluster, coordinator, executors) and the stripe-chunking rule
+//! ([`ecpipe::chunk_into_stripes`]), so their write layouts cannot drift
+//! apart — but an object written through one is intentionally not visible
+//! through the other's namespace.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -92,7 +105,7 @@ impl SimulatedDfs {
         let coordinator = Coordinator::new(code, profile.ecpipe_layout());
         Ok(SimulatedDfs {
             profile,
-            cluster: Cluster::in_memory(nodes),
+            cluster: Cluster::new(ecpipe::StoreBackend::memory(nodes))?,
             coordinator,
             files: HashMap::new(),
             next_stripe: 0,
@@ -133,22 +146,11 @@ impl SimulatedDfs {
     pub fn write_file(&mut self, name: &str, data: &[u8]) -> Result<FileMeta> {
         let k = self.coordinator.code().k();
         let block_size = self.profile.block_size;
-        let stripe_bytes = k * block_size;
-        let stripe_count = data.len().div_ceil(stripe_bytes).max(1);
-        let mut stripes = Vec::with_capacity(stripe_count);
-        for s in 0..stripe_count {
-            let mut blocks: Vec<Vec<u8>> = Vec::with_capacity(k);
-            for b in 0..k {
-                let start = s * stripe_bytes + b * block_size;
-                let end = (start + block_size).min(data.len());
-                let mut block = if start < data.len() {
-                    data[start..end].to_vec()
-                } else {
-                    Vec::new()
-                };
-                block.resize(block_size, 0);
-                blocks.push(block);
-            }
+        // Same chunking rule as the EcPipe façade's `put`, so the runtime
+        // and simulation write layouts cannot drift apart.
+        let chunked = ecpipe::chunk_into_stripes(data, k, block_size);
+        let mut stripes = Vec::with_capacity(chunked.len());
+        for blocks in chunked {
             let stripe_id = self.next_stripe;
             self.next_stripe += 1;
             let placement: Vec<NodeId> = (0..self.coordinator.code().n())
@@ -328,7 +330,7 @@ impl SimulatedDfs {
     fn pick_requestor(&self, stripe: StripeId) -> NodeId {
         // A degraded-read client runs on a node that stores no block of the
         // repaired stripe (as in the paper's testbed setup).
-        let placement = self.cluster.placement(stripe).cloned().unwrap_or_default();
+        let placement = self.cluster.placement(stripe).unwrap_or_default();
         (0..self.cluster.num_nodes())
             .find(|n| !placement.contains(n))
             .unwrap_or(self.cluster.num_nodes() - 1)

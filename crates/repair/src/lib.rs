@@ -63,6 +63,7 @@ pub enum Scheme {
 
 impl Scheme {
     /// A short label matching the paper's figures.
+    #[deprecated(since = "0.2.0", note = "use the `Display` impl instead")]
     pub fn label(&self) -> &'static str {
         match self {
             Scheme::Conventional => "Conv.",
@@ -81,5 +82,16 @@ impl Scheme {
             Scheme::RepairPipelining => rp::schedule(job),
             Scheme::CyclicRepairPipelining => cyclic::schedule(job),
         }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    /// Formats as the short label used in the paper's figures (`Conv.`,
+    /// `PPR`, `RP`, `RP-cyclic`), uniform across reports and benches.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // One string table: the deprecated alias keeps serving it until it
+        // is removed. `pad` honors width/alignment options in table output.
+        #[allow(deprecated)]
+        f.pad(self.label())
     }
 }

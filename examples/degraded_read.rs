@@ -67,6 +67,6 @@ fn main() {
         RepairVariant::RepairPipeliningEcPipe,
     ] {
         let t = single_block_repair_time(&production, 10, layout, variant);
-        println!("  {:<14} {t:.2} s", variant.label());
+        println!("  {variant:<14} {t:.2} s");
     }
 }

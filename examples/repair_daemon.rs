@@ -1,140 +1,131 @@
-//! The repair manager as a long-running daemon: prioritized, concurrent,
-//! liveness-aware repair orchestration (§3.3 at the runtime level).
+//! The full failure menu through the `EcPipe` façade: prioritized,
+//! concurrent, liveness-aware repair orchestration behind an object store.
 //!
-//! A 12-node cluster stores 24 (6,4) stripes on checksum-verifying stores
-//! over a bandwidth-limited in-process transport (every link throttled, so
-//! repairs are network-bound like the paper's 1 Gb/s testbed). The daemon
-//! then faces the full menu: degraded reads (high priority), a reported
-//! node failure (background recovery of every affected stripe), a helper
-//! that turns out to be silently dead mid-repair (strikes → declared dead →
-//! auto-enqueued recovery), and silent bit-rot (injected corruption, caught
-//! by a paced scrub cycle, repaired in place at corruption priority and
-//! re-verified). The same node failure is finally replayed through the
-//! sequential `full_node_recovery_over` loop to show the concurrency win.
+//! One builder call stands up a 14-node cluster with checksum-verifying
+//! stores over a bandwidth-limited transport (every link throttled, so
+//! repairs are network-bound like the paper's 1 Gb/s testbed). Client
+//! threads then `get` objects while the runtime faces everything at once:
+//! erased blocks (served by degraded reads, highest priority), a reported
+//! node failure (background recovery of every affected stripe), a node
+//! that dies *silently* (liveness strikes → declared dead → auto-enqueued
+//! recovery), and silent bit-rot (injected corruption caught by a paced
+//! scrub cycle, repaired in place, re-verified). Every read stays
+//! byte-exact throughout. The same node failure is finally replayed through
+//! the sequential recovery loop to show the concurrency win.
 //!
 //! Run with `cargo run --release --example repair_daemon`.
 
-use std::sync::Arc;
-
 use repair_pipelining::ecc::slice::SliceLayout;
-use repair_pipelining::ecc::stripe::{BlockId, StripeId};
 use repair_pipelining::ecc::ReedSolomon;
-use repair_pipelining::ecpipe::manager::{ManagerConfig, RepairManager, ScrubConfig};
+use repair_pipelining::ecpipe::manager::{recover_node, ManagerConfig};
 use repair_pipelining::ecpipe::recovery::full_node_recovery_over;
 use repair_pipelining::ecpipe::transport::ChannelTransport;
-use repair_pipelining::ecpipe::{Cluster, Coordinator, ExecStrategy};
+use repair_pipelining::ecpipe::{
+    Cluster, Coordinator, EcPipeBuilder, ExecStrategy, NodeHealth, ScrubConfig, StoreBackend,
+};
+use std::sync::Arc;
 
-/// Storage nodes 0..12 hold the stripes; 12 and 13 are replacement nodes
-/// (the paper's `PUSH-Rep` setup) that receive every reconstructed block.
-const STORAGE_NODES: usize = 12;
 const NODES: usize = 14;
-const STRIPES: u64 = 24;
 const BLOCK: usize = 64 * 1024;
 const SLICE: usize = 8 * 1024;
 /// Per-link bandwidth, so repairs are network-bound (like the paper's
 /// testbed) and concurrency pays even on one core.
 const LINK_RATE: u64 = 4 * 1024 * 1024;
+/// Each object spans 4 (6,4) stripes.
+const OBJECT: usize = 4 * 4 * BLOCK;
+const OBJECTS: usize = 6;
 
-fn build_cluster() -> (Coordinator, Cluster, Vec<Vec<Vec<u8>>>) {
-    let code = Arc::new(ReedSolomon::new(6, 4).expect("valid parameters"));
-    let layout = SliceLayout::new(BLOCK, SLICE);
-    let mut coordinator = Coordinator::new(code, layout);
-    // Checksummed stores: every read verifies per-chunk CRC-32s, so the
-    // bit-rot act below is detectable instead of silently poisoning GF math.
-    let mut cluster = Cluster::in_memory_checksummed(NODES);
-    let mut originals = Vec::new();
-    for s in 0..STRIPES {
-        let data: Vec<Vec<u8>> = (0..4)
-            .map(|i| {
-                (0..BLOCK)
-                    .map(|b| ((b as u64 * 31 + i as u64 * 7 + s * 13) % 251) as u8)
-                    .collect()
-            })
-            .collect();
-        let placement: Vec<usize> = (0..6).map(|i| (s as usize + i) % STORAGE_NODES).collect();
-        cluster
-            .write_stripe_with_placement(&mut coordinator, s, &data, placement)
-            .expect("stripe written");
-        originals.push(data);
-    }
-    (coordinator, cluster, originals)
+fn object_bytes(seed: u64) -> Vec<u8> {
+    (0..OBJECT)
+        .map(|i| ((i as u64 * 31 + seed * 13 + 7) % 251) as u8)
+        .collect()
 }
 
 fn main() {
-    let (coordinator, cluster, originals) = build_cluster();
+    let pipe = EcPipeBuilder::new()
+        .code(6, 4)
+        .block_size(BLOCK)
+        .slice_size(SLICE)
+        .store(StoreBackend::memory_checksummed(NODES))
+        .rate_limit(LINK_RATE)
+        .manager(ManagerConfig {
+            workers: 4,
+            per_node_inflight_cap: 3,
+            dead_after_misses: 1,
+            ..ManagerConfig::default()
+        })
+        .build()
+        .expect("valid configuration");
     println!(
-        "cluster: {NODES} nodes, {STRIPES} (6,4) stripes of {} KiB blocks, \
+        "cluster: {NODES} nodes, {OBJECTS} objects of {} KiB over (6,4) stripes, \
          every link throttled to {} MiB/s",
-        BLOCK / 1024,
+        OBJECT / 1024,
         LINK_RATE / (1024 * 1024),
     );
 
-    let config = ManagerConfig {
-        workers: 4,
-        per_node_inflight_cap: 3,
-        auto_requestors: vec![12, 13],
-        dead_after_misses: 1,
-        relocate_on_success: true,
-        ..ManagerConfig::default()
-    };
-    let manager = RepairManager::start(
-        coordinator,
-        cluster,
-        ChannelTransport::with_rate_limit(LINK_RATE),
-        config,
-    );
+    let originals: Vec<Vec<u8>> = (0..OBJECTS as u64).map(object_bytes).collect();
+    let metas: Vec<_> = originals
+        .iter()
+        .enumerate()
+        .map(|(i, data)| pipe.put(&format!("/objects/{i}"), data).expect("put"))
+        .collect();
 
-    // --- Degraded reads: clients blocked on a block, highest priority -----
-    for (stripe, index) in [(0u64, 1usize), (5, 0), (9, 3)] {
-        manager.cluster().erase_block(StripeId(stripe), index);
-        manager
-            .degraded_read(StripeId(stripe), index, 13)
-            .expect("enqueue degraded read");
-    }
+    // --- Degraded reads: erased blocks under concurrent client threads ----
+    pipe.erase_block(metas[0].stripes[0], 1);
+    pipe.erase_block(metas[1].stripes[2], 0);
+    pipe.erase_block(metas[2].stripes[1], 3);
 
     // --- A reported node failure: background recovery of its stripes ------
     let failed_node = 2;
-    let lost = manager.cluster().kill_node(failed_node);
-    let queued = manager.report_node_failure(failed_node);
+    let lost = pipe.kill_node(failed_node);
+    let queued = pipe.report_node_failure(failed_node);
     println!(
-        "node {failed_node} reported dead: {} blocks lost, {queued} repairs queued \
-         behind the degraded reads (the rest were already in flight)",
+        "node {failed_node} reported dead: {} blocks lost, {queued} repairs \
+         queued behind the degraded reads",
         lost.len()
     );
 
-    // --- A silent failure: node 7 dies but nobody tells the manager -------
-    // The next repair that tries to use one of its blocks as a helper gets a
+    // --- A silent failure: node 7 dies but nobody tells the runtime -------
+    // The first read that needs one of its blocks earns it a liveness
     // strike; with `dead_after_misses = 1` the manager declares the node
-    // dead, re-plans the repair around it and auto-enqueues its stripes.
+    // dead, re-plans around it and auto-enqueues its remaining stripes.
     let silent_node = 7;
-    let silently_lost = manager.cluster().kill_node(silent_node);
-    manager.cluster().erase_block(StripeId(3), 0);
-    manager
-        .degraded_read(StripeId(3), 0, 12)
-        .expect("enqueue degraded read");
+    let silently_lost = pipe.kill_node(silent_node);
 
-    manager.wait_idle();
+    // Clients keep reading while all of that is in flight — the handle is
+    // `&self` throughout, so threads share it directly.
+    std::thread::scope(|scope| {
+        for (i, data) in originals.iter().enumerate() {
+            let pipe = &pipe;
+            scope.spawn(move || {
+                let read = pipe.get(&format!("/objects/{i}")).expect("get succeeds");
+                assert_eq!(read, *data, "object {i} must read back byte-exact");
+            });
+        }
+    });
+    println!("{OBJECTS} concurrent client reads returned byte-exact data mid-recovery");
+
+    pipe.wait_idle();
     println!(
         "liveness after the dust settles: node {failed_node} = {:?}, node {silent_node} = {:?}",
-        manager.node_health(failed_node),
-        manager.node_health(silent_node),
+        pipe.node_health(failed_node),
+        pipe.node_health(silent_node),
     );
+    assert_eq!(pipe.node_health(silent_node), NodeHealth::Dead);
 
     // --- Silent bit-rot: flipped bytes nobody reported ---------------------
-    // Stripes 8 and 20 sit entirely on live nodes {8..11, 0, 1}. Flip one
-    // byte in each; the stored checksums go stale, so the next scrub (or any
-    // helper read) convicts the block instead of serving poisoned bytes.
-    for (stripe, index) in [(8u64, 1usize), (20, 3)] {
-        manager
-            .cluster()
-            .corrupt_block(StripeId(stripe), index, 12345)
+    // Flip one byte in two blocks; the stored checksums go stale, so the
+    // next scrub (or any helper read) convicts the block instead of serving
+    // poisoned bytes.
+    for (meta, index) in [(&metas[3], 1usize), (&metas[4], 3)] {
+        pipe.corrupt(meta.stripes[0], index, 12345)
             .expect("inject corruption");
     }
     // One paced scrub cycle: walk every live node's blocks with a
     // token-bucket budget, enqueue corruption-class repairs (above
     // background recovery, below degraded reads), wait for them to drain
     // and re-verify the repaired blocks.
-    let scrub = manager.scrub(&ScrubConfig::default().with_rate(32 * 1024 * 1024));
+    let scrub = pipe.scrub(&ScrubConfig::default().with_rate(32 * 1024 * 1024));
     println!(
         "scrub cycle: {} blocks ({} KiB) verified in {:.3}s, {} corrupt found, \
          {} repaired+re-verified, {} still corrupt",
@@ -147,25 +138,28 @@ fn main() {
     );
     assert!(scrub.still_corrupt.is_empty(), "scrub must heal all rot");
 
-    // Every lost block must be back, byte-identical to a fresh re-encode.
-    let code = ReedSolomon::new(6, 4).expect("valid parameters");
-    let mut verified = 0;
-    for block in lost.iter().chain(silently_lost.iter()) {
-        let expected = expected_block(&code, &originals, *block);
-        let found = (0..NODES).any(|node| {
-            manager
-                .cluster()
-                .store(node)
-                .get(*block)
-                .map(|b| b == expected)
-                .unwrap_or(false)
-        });
-        assert!(found, "block {block} not reconstructed byte-exact");
-        verified += 1;
+    // Every object still reads back byte-identical after the whole menu —
+    // and the recovery must already be *complete*: these re-reads may not
+    // trigger a single further repair (a get would transparently heal a
+    // missed block, which would mask a broken recovery path, so pin the
+    // transport byte counter instead).
+    use repair_pipelining::ecpipe::transport::Transport;
+    let repair_traffic_done = pipe.transport().total_bytes();
+    for (i, data) in originals.iter().enumerate() {
+        assert_eq!(pipe.get(&format!("/objects/{i}")).expect("get"), *data);
     }
-    println!("verified {verified} reconstructed blocks byte-exact");
+    assert_eq!(
+        pipe.transport().total_bytes(),
+        repair_traffic_done,
+        "recovery must have healed every block already — re-reads move no repair traffic"
+    );
+    println!(
+        "verified all {OBJECTS} objects byte-exact after recovering {} blocks \
+         (re-reads moved zero repair traffic)",
+        lost.len() + silently_lost.len()
+    );
 
-    let report = manager.shutdown();
+    let report = pipe.shutdown();
     println!("\nmanager report:");
     println!(
         "  {} blocks ({} KiB) repaired in {:.3}s, {} re-plans, {} failures, {} KiB on the wire",
@@ -204,7 +198,9 @@ fn main() {
     }
 
     // --- The same node failure: sequential loop vs concurrent manager -----
-    let (mut coordinator, cluster, _) = build_cluster();
+    // This comparison needs two identical fresh clusters, so it drops to
+    // the engine-level API the façade wraps.
+    let (mut coordinator, cluster) = stripes_for_comparison();
     cluster.kill_node(failed_node);
     let sequential = full_node_recovery_over(
         &mut coordinator,
@@ -216,9 +212,9 @@ fn main() {
     )
     .expect("sequential recovery succeeds");
 
-    let (mut coordinator, cluster, _) = build_cluster();
+    let (mut coordinator, cluster) = stripes_for_comparison();
     cluster.kill_node(failed_node);
-    let concurrent = repair_pipelining::ecpipe::manager::recover_node(
+    let concurrent = recover_node(
         &mut coordinator,
         &cluster,
         &ChannelTransport::with_rate_limit(LINK_RATE),
@@ -242,13 +238,24 @@ fn main() {
     println!("repair_daemon finished");
 }
 
-/// Re-encodes the stripe and returns the expected content of `block`.
-fn expected_block(code: &ReedSolomon, originals: &[Vec<Vec<u8>>], block: BlockId) -> Vec<u8> {
-    use repair_pipelining::ecc::ErasureCode;
-    let data = &originals[block.stripe.0 as usize];
-    if block.index < 4 {
-        data[block.index].clone()
-    } else {
-        code.encode(data).expect("encode")[block.index].clone()
+/// A 24-stripe cluster for the sequential-vs-concurrent replay, stripes
+/// confined to nodes 0..12 so nodes 12 and 13 can act as replacements.
+fn stripes_for_comparison() -> (Coordinator, Cluster) {
+    let code = Arc::new(ReedSolomon::new(6, 4).expect("valid parameters"));
+    let mut coordinator = Coordinator::new(code, SliceLayout::new(BLOCK, SLICE));
+    let cluster = Cluster::new(StoreBackend::memory(NODES)).expect("cluster builds");
+    for s in 0..24u64 {
+        let data: Vec<Vec<u8>> = (0..4)
+            .map(|i| {
+                (0..BLOCK)
+                    .map(|b| ((b as u64 * 31 + i as u64 * 7 + s * 13) % 251) as u8)
+                    .collect()
+            })
+            .collect();
+        let placement: Vec<usize> = (0..6).map(|i| (s as usize + i) % 12).collect();
+        cluster
+            .write_stripe_with_placement(&mut coordinator, s, &data, placement)
+            .expect("stripe written");
     }
+    (coordinator, cluster)
 }

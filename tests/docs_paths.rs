@@ -1,6 +1,8 @@
-//! Markdown hygiene: every repository path referenced from the top-level
-//! docs must exist, so README/ARCHITECTURE/PAPER cannot rot silently when
-//! files move. CI runs this as its docs-path hygiene step.
+//! Repository hygiene: every repository path referenced from the top-level
+//! docs must exist (so README/ARCHITECTURE/PAPER cannot rot silently when
+//! files move), and no stray top-level directories may appear (a
+//! `examples_dbg/` once lingered untracked for several releases). CI runs
+//! this as its hygiene step.
 
 use std::path::Path;
 
@@ -77,6 +79,30 @@ fn extractor_recognizes_paths_and_ignores_prose() {
             ".github/workflows/ci.yml",
             "crates/shims",
         ]
+    );
+}
+
+/// Every top-level directory must be one the repository knows about. A new
+/// directory is a deliberate act: add it here (and to the docs) or delete
+/// it, but don't let scratch dirs like the late `examples_dbg/` accumulate.
+#[test]
+fn no_stray_toplevel_directories() {
+    /// Tracked directories plus the build artifact. Hidden directories
+    /// (`.git`, local tool state) are exempt — they never ship.
+    const ALLOWED: &[&str] = &["crates", "docs", "examples", "src", "tests", "target"];
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut strays: Vec<String> = std::fs::read_dir(root)
+        .expect("repository root is readable")
+        .flatten()
+        .filter(|e| e.file_type().map(|t| t.is_dir()).unwrap_or(false))
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| !name.starts_with('.') && !ALLOWED.contains(&name.as_str()))
+        .collect();
+    strays.sort();
+    assert!(
+        strays.is_empty(),
+        "unexpected top-level directories (delete them or add them to the \
+         allowlist in tests/docs_paths.rs): {strays:?}"
     );
 }
 

@@ -9,7 +9,7 @@ use repair_pipelining::ecc::slice::SliceLayout;
 use repair_pipelining::ecc::{CodeError, ErasureCode, Lrc, ReedSolomon};
 use repair_pipelining::ecpipe::exec::{execute_multi, ExecStrategy};
 use repair_pipelining::ecpipe::transport::ChannelTransport;
-use repair_pipelining::ecpipe::{Cluster, Coordinator};
+use repair_pipelining::ecpipe::{Cluster, Coordinator, StoreBackend};
 use repair_pipelining::gf256::Matrix;
 use repair_pipelining::repair::weighted_path::{optimal_path, WeightMatrix};
 use repair_pipelining::repair::{ppr, SingleRepairJob};
@@ -27,7 +27,7 @@ fn k1_repair_through_every_strategy() {
 
     for failed in [0usize, 1] {
         let mut coordinator = Coordinator::new(code.clone(), layout);
-        let mut cluster = Cluster::in_memory(4);
+        let cluster = Cluster::new(StoreBackend::memory(4)).unwrap();
         let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
         cluster.erase_block(stripe, failed);
         for strategy in [
@@ -82,7 +82,7 @@ fn one_byte_block_repair() {
     let data = vec![vec![7u8], vec![11u8], vec![13u8]];
     let coded = code.encode(&data).unwrap();
     let mut coordinator = Coordinator::new(code.clone(), layout);
-    let mut cluster = Cluster::in_memory(7);
+    let cluster = Cluster::new(StoreBackend::memory(7)).unwrap();
     let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
     cluster.erase_block(stripe, 2);
     let repaired = cluster
@@ -204,7 +204,7 @@ fn multi_repair_of_all_parity_blocks() {
     let code = Arc::new(ReedSolomon::new(14, 10).unwrap());
     let layout = SliceLayout::new(4096, 1024);
     let mut coordinator = Coordinator::new(code.clone(), layout);
-    let mut cluster = Cluster::in_memory(20);
+    let cluster = Cluster::new(StoreBackend::memory(20)).unwrap();
     let data: Vec<Vec<u8>> = (0..10).map(|i| vec![i as u8; 4096]).collect();
     let coded = code.encode(&data).unwrap();
     let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();

@@ -9,7 +9,7 @@ use repair_pipelining::ecc::{ErasureCode, Lrc, ReedSolomon};
 use repair_pipelining::ecpipe::exec::{execute_multi, execute_single, ExecStrategy};
 use repair_pipelining::ecpipe::recovery::full_node_recovery;
 use repair_pipelining::ecpipe::transport::{ChannelTransport, Transport};
-use repair_pipelining::ecpipe::{Cluster, Coordinator, SelectionPolicy};
+use repair_pipelining::ecpipe::{Cluster, Coordinator, SelectionPolicy, StoreBackend};
 
 const BLOCK: usize = 64 * 1024;
 
@@ -42,7 +42,7 @@ fn every_strategy_and_code_reconstructs_exact_bytes() {
         for failed in [0, k - 1, n - 1] {
             // A fresh cluster per failure so every helper block is in place.
             let mut coordinator = Coordinator::new(code.clone(), layout);
-            let mut cluster = Cluster::in_memory(n + 2);
+            let cluster = Cluster::new(StoreBackend::memory(n + 2)).unwrap();
             let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
             cluster.erase_block(stripe, failed);
             for strategy in [
@@ -67,7 +67,7 @@ fn multi_block_repair_end_to_end() {
     let code = Arc::new(ReedSolomon::new(14, 10).unwrap());
     let layout = SliceLayout::new(BLOCK, 4 * 1024);
     let mut coordinator = Coordinator::new(code.clone(), layout);
-    let mut cluster = Cluster::in_memory(20);
+    let cluster = Cluster::new(StoreBackend::memory(20)).unwrap();
     let data = stripe_data(10, 11);
     let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
     let coded = code.encode(&data).unwrap();
@@ -97,7 +97,7 @@ fn full_node_recovery_end_to_end() {
     let code = Arc::new(ReedSolomon::new(9, 6).unwrap());
     let layout = SliceLayout::new(BLOCK, 16 * 1024);
     let mut coordinator = Coordinator::new(code.clone(), layout);
-    let mut cluster = Cluster::in_memory(14);
+    let cluster = Cluster::new(StoreBackend::memory(14)).unwrap();
     let mut all_coded = Vec::new();
     for s in 0..12u64 {
         let data = stripe_data(6, s);
@@ -138,7 +138,7 @@ fn plan_runtime_agreement() {
     let code = Arc::new(ReedSolomon::new(14, 10).unwrap());
     let layout = SliceLayout::new(BLOCK, 8 * 1024);
     let mut coordinator = Coordinator::new(code.clone(), layout);
-    let mut cluster = Cluster::in_memory(16);
+    let cluster = Cluster::new(StoreBackend::memory(16)).unwrap();
     let data = stripe_data(10, 21);
     let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
     let coded = code.encode(&data).unwrap();

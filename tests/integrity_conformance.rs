@@ -26,6 +26,7 @@ use repair_pipelining::ecpipe::manager::{
 use repair_pipelining::ecpipe::transport::{ChannelTransport, TcpTransport, Transport};
 use repair_pipelining::ecpipe::{
     BlockStore, Cluster, Coordinator, EcPipeError, ExecStrategy, FileStore, SelectionPolicy,
+    StoreBackend,
 };
 
 const BLOCK: usize = 16 * 1024;
@@ -40,7 +41,7 @@ const STRIPES: u64 = 24;
 fn build_cluster() -> (Coordinator, Cluster, Vec<Vec<Vec<u8>>>) {
     let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
     let mut coordinator = Coordinator::new(code, SliceLayout::new(BLOCK, SLICE));
-    let mut cluster = Cluster::in_memory_checksummed(NODES);
+    let cluster = Cluster::new(StoreBackend::memory_checksummed(NODES)).unwrap();
     let mut originals = Vec::new();
     for s in 0..STRIPES {
         let data: Vec<Vec<u8>> = (0..4)
@@ -186,7 +187,7 @@ fn case_exec_surfaces_corrupt_block<T: Transport + Send + Sync>(transport: &T) {
     ] {
         let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
         let mut coordinator = Coordinator::new(code, SliceLayout::new(BLOCK, SLICE));
-        let mut cluster = Cluster::in_memory_checksummed(8);
+        let cluster = Cluster::new(StoreBackend::memory_checksummed(8)).unwrap();
         let data: Vec<Vec<u8>> = (0..4)
             .map(|i| (0..BLOCK).map(|b| ((b * 7 + i * 31) % 250) as u8).collect())
             .collect();
@@ -310,7 +311,7 @@ fn corruption_priority_sits_between_degraded_and_background() {
 fn scrub_pacing_throttles_the_scan() {
     let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
     let mut coordinator = Coordinator::new(code, SliceLayout::new(BLOCK, SLICE));
-    let mut cluster = Cluster::in_memory_checksummed(8);
+    let cluster = Cluster::new(StoreBackend::memory_checksummed(8)).unwrap();
     let data: Vec<Vec<u8>> = (0..4).map(|i| vec![i as u8 + 1; BLOCK]).collect();
     for s in 0..16u64 {
         cluster.write_stripe(&mut coordinator, s, &data).unwrap();
@@ -362,7 +363,7 @@ fn file_backed_scrub_survives_on_disk_tampering() {
         .collect();
     let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
     let mut coordinator = Coordinator::new(code, SliceLayout::new(BLOCK, SLICE));
-    let mut cluster = Cluster::from_stores(stores);
+    let cluster = Cluster::new(StoreBackend::custom(stores)).unwrap();
     let data: Vec<Vec<u8>> = (0..4)
         .map(|i| (0..BLOCK).map(|b| ((b * 13 + i * 7) % 240) as u8).collect())
         .collect();

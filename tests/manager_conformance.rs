@@ -23,7 +23,7 @@ use repair_pipelining::ecpipe::manager::{
 };
 use repair_pipelining::ecpipe::recovery::full_node_recovery_over;
 use repair_pipelining::ecpipe::transport::{ChannelTransport, TcpTransport, Transport};
-use repair_pipelining::ecpipe::{Cluster, Coordinator, ExecStrategy};
+use repair_pipelining::ecpipe::{Cluster, Coordinator, ExecStrategy, StoreBackend};
 
 const BLOCK: usize = 64 * 1024;
 const SLICE: usize = 8 * 1024;
@@ -41,7 +41,7 @@ const LINK_RATE: u64 = 4 * 1024 * 1024;
 fn build_cluster() -> (Coordinator, Cluster, Vec<Vec<Vec<u8>>>) {
     let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
     let mut coordinator = Coordinator::new(code, SliceLayout::new(BLOCK, SLICE));
-    let mut cluster = Cluster::in_memory(NODES);
+    let cluster = Cluster::new(StoreBackend::memory(NODES)).unwrap();
     let mut originals = Vec::new();
     for s in 0..STRIPES {
         let data: Vec<Vec<u8>> = (0..4)

@@ -224,7 +224,7 @@ fn scheme_enum_builds_consistent_schedules() {
     ] {
         let report = sim.run(&scheme.schedule(&job));
         assert_eq!(report.network_bytes, 10 * 64 * MIB as u64, "{scheme:?}");
-        times.push((scheme.label(), report.makespan));
+        times.push((scheme, report.makespan));
     }
     // Conventional is the slowest of the four on a homogeneous network.
     let conv = times[0].1;

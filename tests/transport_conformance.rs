@@ -21,7 +21,7 @@ use repair_pipelining::ecpipe::exec::{
     execute_multi, execute_single, ExecStrategy, PIPELINE_DEPTH,
 };
 use repair_pipelining::ecpipe::transport::{ChannelTransport, SliceMsg, TcpTransport, Transport};
-use repair_pipelining::ecpipe::{Cluster, Coordinator, SelectionPolicy};
+use repair_pipelining::ecpipe::{Cluster, Coordinator, SelectionPolicy, StoreBackend};
 
 const BLOCK: usize = 16 * 1024;
 const SLICE: usize = 2 * 1024;
@@ -40,7 +40,7 @@ fn setup(code: Arc<dyn ErasureCode>) -> (Cluster, Coordinator, Vec<Vec<u8>>, Str
     let k = code.k();
     let n = code.n();
     let mut coordinator = Coordinator::new(code, SliceLayout::new(BLOCK, SLICE));
-    let mut cluster = Cluster::in_memory(n + 2);
+    let cluster = Cluster::new(StoreBackend::memory(n + 2)).unwrap();
     let data = stripe_data(k);
     let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
     (cluster, coordinator, data, stripe)
@@ -237,7 +237,7 @@ fn throttled_tcp_matches_paper_timing_shape() {
 
     let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(6, 4).unwrap());
     let mut coordinator = Coordinator::new(code, SliceLayout::new(TBLOCK, TSLICE));
-    let mut cluster = Cluster::in_memory(8);
+    let cluster = Cluster::new(StoreBackend::memory(8)).unwrap();
     let data: Vec<Vec<u8>> = (0..k).map(|i| vec![i as u8 + 1; TBLOCK]).collect();
     let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
     cluster.erase_block(stripe, 2);
