@@ -10,7 +10,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use ecpipe_sync::RwLock;
+
+use crate::lock_order;
 
 use ecc::stripe::{BlockId, StripeId};
 use simnet::NodeId;
@@ -30,6 +32,7 @@ use crate::{Coordinator, EcPipeError, Result};
 /// keeps accepting `put`s while the repair manager owns the cluster.
 pub struct Cluster {
     stores: Vec<Arc<dyn BlockStore>>,
+    /// Lock class: `cluster.placements` ([`lock_order::CLUSTER_PLACEMENTS`]).
     placements: RwLock<HashMap<StripeId, Vec<NodeId>>>,
 }
 
@@ -38,7 +41,7 @@ impl Cluster {
     pub fn new(backend: StoreBackend) -> Result<Self> {
         Ok(Cluster {
             stores: backend.build()?,
-            placements: RwLock::new(HashMap::new()),
+            placements: RwLock::new(&lock_order::CLUSTER_PLACEMENTS, HashMap::new()),
         })
     }
 

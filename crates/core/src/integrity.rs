@@ -38,7 +38,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use ecpipe_sync::RwLock;
+
+use crate::lock_order;
 
 use ecc::stripe::BlockId;
 
@@ -240,6 +242,7 @@ impl BlockChecksums {
 pub struct ChecksummedStore<S: BlockStore> {
     inner: S,
     chunk_size: usize,
+    /// Lock class: `store.checksums` ([`lock_order::STORE_CHECKSUMS`]).
     sums: RwLock<HashMap<BlockId, Arc<BlockChecksums>>>,
     sidecar_dir: Option<PathBuf>,
 }
@@ -255,7 +258,7 @@ impl<S: BlockStore> ChecksummedStore<S> {
         ChecksummedStore {
             inner,
             chunk_size: chunk_size.max(1),
-            sums: RwLock::new(HashMap::new()),
+            sums: RwLock::new(&lock_order::STORE_CHECKSUMS, HashMap::new()),
             sidecar_dir: None,
         }
     }
@@ -270,7 +273,7 @@ impl<S: BlockStore> ChecksummedStore<S> {
         Ok(ChecksummedStore {
             inner,
             chunk_size: DEFAULT_CHUNK_SIZE,
-            sums: RwLock::new(HashMap::new()),
+            sums: RwLock::new(&lock_order::STORE_CHECKSUMS, HashMap::new()),
             sidecar_dir: Some(dir),
         })
     }

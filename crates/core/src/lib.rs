@@ -85,6 +85,7 @@ mod error;
 pub mod exec;
 mod facade;
 pub mod integrity;
+pub mod lock_order;
 pub mod manager;
 pub mod recovery;
 mod store;

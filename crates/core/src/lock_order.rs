@@ -1,0 +1,136 @@
+//! The runtime's lock hierarchy.
+//!
+//! Every lock in this crate belongs to one of the classes below; ranks
+//! strictly increase along every legal nesting path, so acquiring in
+//! increasing-rank order is always safe and anything else panics in checked
+//! builds (see `ecpipe-sync`). The table is mirrored in
+//! docs/ARCHITECTURE.md ("Lock hierarchy"); `cargo run -p xtask -- lint`
+//! rejects rank or name collisions workspace-wide.
+//!
+//! Conventions:
+//!
+//! * Outermost (longest-held, coarsest) classes get the lowest ranks; leaf
+//!   classes that never hold anything else get the highest.
+//! * Ranks are spaced by ~5 so a new class can slot between two existing
+//!   ones without renumbering.
+//! * A condition variable shares the class of the mutex it waits on; only
+//!   the mutex is ranked.
+
+use ecpipe_sync::lock_class;
+
+lock_class!(
+    /// [`Coordinator`](crate::Coordinator) metadata behind the manager's
+    /// daemon mutex: stripe map, object namespace, helper-selection state.
+    /// Outermost lock of the repair path — planning closures run under it
+    /// and consult liveness and placements.
+    pub COORDINATOR = ("manager.coordinator", rank = 10)
+);
+
+lock_class!(
+    /// [`Cluster`](crate::Cluster) stripe→node placement map. Taken inside
+    /// the coordinator lock on the put/publish path.
+    pub CLUSTER_PLACEMENTS = ("cluster.placements", rank = 20)
+);
+
+lock_class!(
+    /// `EngineState::scheduled` — keys of repairs queued or in flight;
+    /// `wait_for` blocks on its condvar.
+    pub ENGINE_SCHEDULED = ("engine.scheduled", rank = 30)
+);
+
+lock_class!(
+    /// `EngineState::pending` — count of jobs submitted but not finished;
+    /// `wait_idle` blocks on its condvar.
+    pub ENGINE_PENDING = ("engine.pending", rank = 32)
+);
+
+lock_class!(
+    /// `EngineState::first_error` — the first worker error, held briefly
+    /// while aborting (which closes the queue, so it precedes
+    /// [`MANAGER_QUEUE`] in rank).
+    pub ENGINE_FIRST_ERROR = ("engine.first_error", rank = 34)
+);
+
+lock_class!(
+    /// `RepairQueue` internals; `pop` blocks
+    /// on its condvar.
+    pub MANAGER_QUEUE = ("manager.queue", rank = 36)
+);
+
+lock_class!(
+    /// `AdmissionGate` per-node in-flight counts; `acquire` blocks on its
+    /// condvar and records metrics while counting, so this precedes
+    /// [`MANAGER_METRICS`].
+    pub MANAGER_GATE = ("manager.gate", rank = 40)
+);
+
+lock_class!(
+    /// `MetricsCollector` counters.
+    pub MANAGER_METRICS = ("manager.metrics", rank = 42)
+);
+
+lock_class!(
+    /// `Liveness` per-node health map. Read by
+    /// planning closures under the coordinator lock.
+    pub MANAGER_LIVENESS = ("manager.liveness", rank = 44)
+);
+
+lock_class!(
+    /// Transport [`StatsRegistry`](crate::transport::StatsRegistry) link
+    /// table.
+    pub TRANSPORT_STATS = ("transport.stats", rank = 50)
+);
+
+lock_class!(
+    /// TCP transport listener table.
+    pub TCP_LISTENERS = ("tcp.listeners", rank = 52)
+);
+
+lock_class!(
+    /// TCP transport connection cache; held while writing the handshake
+    /// frame, so it precedes [`TCP_WRITER`].
+    pub TCP_CONNS = ("tcp.conns", rank = 54)
+);
+
+lock_class!(
+    /// TCP transport live-link table; held while closing per-link state,
+    /// so it precedes [`TCP_LINK_STATE`].
+    pub TCP_LINKS = ("tcp.links", rank = 56)
+);
+
+lock_class!(
+    /// TCP transport connection→links index used for teardown.
+    pub TCP_CONN_LINKS = ("tcp.conn_links", rank = 58)
+);
+
+lock_class!(
+    /// Per-link queue/credit state; senders and receivers block on its
+    /// condvars.
+    pub TCP_LINK_STATE = ("tcp.link_state", rank = 60)
+);
+
+lock_class!(
+    /// Per-connection socket writer.
+    pub TCP_WRITER = ("tcp.writer", rank = 62)
+);
+
+lock_class!(
+    /// Reader-thread join handles, taken at shutdown.
+    pub TCP_READER_THREADS = ("tcp.reader_threads", rank = 64)
+);
+
+lock_class!(
+    /// [`ChecksummedStore`](crate::ChecksummedStore) checksum cache. Leaf:
+    /// never held across inner-store calls.
+    pub STORE_CHECKSUMS = ("store.checksums", rank = 70)
+);
+
+lock_class!(
+    /// [`MemoryStore`](crate::MemoryStore) block map. Leaf.
+    pub STORE_MEMORY = ("store.memory", rank = 72)
+);
+
+lock_class!(
+    /// Token-bucket rate-limiter state. Leaf; taken with nothing held.
+    pub TRANSPORT_TOKEN_BUCKET = ("transport.token_bucket", rank = 80)
+);

@@ -10,9 +10,11 @@
 //! an external failure detector) can also declare a node dead directly.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
 
+use ecpipe_sync::Mutex;
 use simnet::NodeId;
+
+use crate::lock_order;
 
 /// Health of one node, as inferred from repair outcomes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +31,7 @@ pub enum NodeHealth {
 /// Tracks per-node health. All methods take `&self`; the view is shared by
 /// every worker.
 pub(crate) struct Liveness {
+    /// Lock class: `manager.liveness` ([`lock_order::MANAGER_LIVENESS`]).
     health: Mutex<HashMap<NodeId, NodeHealth>>,
     /// Consecutive misses after which a node is declared dead.
     dead_after: usize,
@@ -41,7 +44,7 @@ impl Liveness {
             .map(|&n| (n, NodeHealth::Dead))
             .collect::<HashMap<_, _>>();
         Liveness {
-            health: Mutex::new(health),
+            health: Mutex::new(&lock_order::MANAGER_LIVENESS, health),
             dead_after: dead_after.max(1),
         }
     }
@@ -49,7 +52,7 @@ impl Liveness {
     /// Declares a node dead outright. Returns `true` if it was not already
     /// dead (i.e. its stripes still need to be queued).
     pub(crate) fn mark_dead(&self, node: NodeId) -> bool {
-        let mut health = self.health.lock().unwrap();
+        let mut health = self.health.lock();
         health.insert(node, NodeHealth::Dead) != Some(NodeHealth::Dead)
     }
 
@@ -57,7 +60,7 @@ impl Liveness {
     /// `true` if this strike pushed the node over the threshold (it is now
     /// newly dead).
     pub(crate) fn record_miss(&self, node: NodeId) -> bool {
-        let mut health = self.health.lock().unwrap();
+        let mut health = self.health.lock();
         let entry = health.entry(node).or_insert(NodeHealth::Alive);
         let strikes = match *entry {
             NodeHealth::Dead => return false,
@@ -75,7 +78,7 @@ impl Liveness {
     /// Records that each node served a repair successfully, clearing any
     /// strikes (dead nodes stay dead).
     pub(crate) fn record_success(&self, nodes: &[NodeId]) {
-        let mut health = self.health.lock().unwrap();
+        let mut health = self.health.lock();
         for node in nodes {
             match health.get(node) {
                 Some(NodeHealth::Dead) => {}
@@ -87,16 +90,12 @@ impl Liveness {
     }
 
     pub(crate) fn is_dead(&self, node: NodeId) -> bool {
-        matches!(
-            self.health.lock().unwrap().get(&node),
-            Some(NodeHealth::Dead)
-        )
+        matches!(self.health.lock().get(&node), Some(NodeHealth::Dead))
     }
 
     pub(crate) fn health_of(&self, node: NodeId) -> NodeHealth {
         self.health
             .lock()
-            .unwrap()
             .get(&node)
             .copied()
             .unwrap_or(NodeHealth::Alive)
@@ -104,7 +103,7 @@ impl Liveness {
 
     /// All nodes with a non-default state.
     pub(crate) fn snapshot(&self) -> HashMap<NodeId, NodeHealth> {
-        self.health.lock().unwrap().clone()
+        self.health.lock().clone()
     }
 }
 

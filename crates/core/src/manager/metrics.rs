@@ -8,11 +8,13 @@
 //! time and network bytes.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
 use std::time::Duration;
 
 use ecc::stripe::{BlockId, StripeId};
+use ecpipe_sync::Mutex;
 use simnet::NodeId;
+
+use crate::lock_order;
 
 use super::queue::RepairPriority;
 
@@ -172,6 +174,7 @@ impl ManagerReport {
 
 /// Shared, thread-safe accumulator behind a [`ManagerReport`].
 pub(crate) struct MetricsCollector {
+    /// Lock class: `manager.metrics` ([`lock_order::MANAGER_METRICS`]).
     inner: Mutex<Inner>,
 }
 
@@ -185,13 +188,13 @@ struct Inner {
 impl MetricsCollector {
     pub(crate) fn new() -> Self {
         MetricsCollector {
-            inner: Mutex::new(Inner::default()),
+            inner: Mutex::new(&lock_order::MANAGER_METRICS, Inner::default()),
         }
     }
 
     /// Assigns the next global pickup sequence number.
     pub(crate) fn begin_repair(&self) -> usize {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.started += 1;
         inner.started
     }
@@ -199,7 +202,7 @@ impl MetricsCollector {
     /// Updates a node's peak-in-flight high-water mark (called by the
     /// admission gate with the node's new in-flight count).
     pub(crate) fn record_inflight(&self, node: NodeId, current: usize) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let peak = inner.report.peak_inflight.entry(node).or_insert(0);
         *peak = (*peak).max(current);
     }
@@ -219,7 +222,7 @@ impl MetricsCollector {
         bytes: usize,
         role_nodes: &[NodeId],
     ) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.finished += 1;
         let finished_seq = inner.finished;
         let report = &mut inner.report;
@@ -251,7 +254,7 @@ impl MetricsCollector {
     /// Records a repair the manager gave up on (daemon mode), keeping the
     /// block identity so the report says what is still missing.
     pub(crate) fn record_failure(&self, failure: FailedRepair) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.finished += 1;
         inner.report.failed_repairs += 1;
         inner.report.replans += failure.replans;
@@ -260,12 +263,12 @@ impl MetricsCollector {
 
     /// Folds a finished scrub cycle into the report.
     pub(crate) fn record_scrub_cycle(&self, cycle: ScrubCycle) {
-        self.inner.lock().unwrap().report.scrub_cycles.push(cycle);
+        self.inner.lock().report.scrub_cycles.push(cycle);
     }
 
     /// Snapshots the report, stamping wall time and network bytes.
     pub(crate) fn report(&self, wall_time: Duration, network_bytes: u64) -> ManagerReport {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock();
         let mut report = inner.report.clone();
         report.wall_time = wall_time;
         report.network_bytes = network_bytes;

@@ -55,12 +55,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use parking_lot::Mutex;
-
+use ecpipe_sync::Mutex;
 use simnet::NodeId;
 
 use crate::cluster::Cluster;
 use crate::exec::ExecStrategy;
+use crate::lock_order;
 use crate::transport::Transport;
 use crate::{Coordinator, EcPipeError, Result};
 
@@ -157,7 +157,7 @@ pub fn run_batch<T: Transport + ?Sized>(
     engine.queue.close();
     let baseline_bytes = transport.total_bytes();
     let started = Instant::now();
-    let coordinator = Mutex::new(coordinator);
+    let coordinator = Mutex::new(&lock_order::COORDINATOR, coordinator);
     std::thread::scope(|scope| {
         for _ in 0..config.workers.max(1) {
             scope.spawn(|| worker_loop(&engine, &coordinator, cluster, transport, config));
@@ -223,6 +223,7 @@ pub fn recover_node<T: Transport + ?Sized>(
 
 struct DaemonShared<T> {
     engine: EngineState,
+    /// Lock class: `manager.coordinator` ([`lock_order::COORDINATOR`]).
     coordinator: Mutex<Coordinator>,
     cluster: Cluster,
     transport: T,
@@ -277,7 +278,7 @@ impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
         let baseline_bytes = transport.total_bytes();
         let shared = Arc::new(DaemonShared {
             engine: EngineState::new(&config, false),
-            coordinator: Mutex::new(coordinator),
+            coordinator: Mutex::new(&lock_order::COORDINATOR, coordinator),
             cluster,
             transport,
             config,

@@ -7,11 +7,13 @@
 //! and the long-running daemon.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use ecc::stripe::StripeId;
+use ecpipe_sync::{Condvar, Mutex};
 use simnet::NodeId;
+
+use crate::lock_order;
 
 /// Priority class of a repair. Lower is more urgent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -80,8 +82,15 @@ struct QueueInner {
     closed: bool,
 }
 
+impl QueueInner {
+    fn is_empty(&self) -> bool {
+        self.degraded.is_empty() && self.corruption.is_empty() && self.background.is_empty()
+    }
+}
+
 /// A blocking two-class priority queue.
 pub(crate) struct RepairQueue {
+    /// Lock class: `manager.queue` ([`lock_order::MANAGER_QUEUE`]).
     inner: Mutex<QueueInner>,
     available: Condvar,
 }
@@ -89,7 +98,7 @@ pub(crate) struct RepairQueue {
 impl RepairQueue {
     pub(crate) fn new() -> Self {
         RepairQueue {
-            inner: Mutex::new(QueueInner::default()),
+            inner: Mutex::new(&lock_order::MANAGER_QUEUE, QueueInner::default()),
             available: Condvar::new(),
         }
     }
@@ -97,7 +106,7 @@ impl RepairQueue {
     /// Enqueues a request. Returns `false` (dropping the request) once the
     /// queue is closed.
     pub(crate) fn push(&self, request: RepairRequest) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         if inner.closed {
             return false;
         }
@@ -118,22 +127,21 @@ impl RepairQueue {
     /// Pops the most urgent request, blocking while the queue is open but
     /// empty. Returns `None` once the queue is closed *and* drained.
     pub(crate) fn pop(&self) -> Option<QueuedRepair> {
-        let mut inner = self.inner.lock().unwrap();
-        loop {
-            if let Some(job) = inner.degraded.pop_front() {
-                return Some(job);
-            }
-            if let Some(job) = inner.corruption.pop_front() {
-                return Some(job);
-            }
-            if let Some(job) = inner.background.pop_front() {
-                return Some(job);
-            }
-            if inner.closed {
-                return None;
-            }
-            inner = self.available.wait(inner).unwrap();
+        let inner = self.inner.lock();
+        let mut inner = self
+            .available
+            .wait_while(inner, |q| !q.closed && q.is_empty());
+        if let Some(job) = inner.degraded.pop_front() {
+            return Some(job);
         }
+        if let Some(job) = inner.corruption.pop_front() {
+            return Some(job);
+        }
+        if let Some(job) = inner.background.pop_front() {
+            return Some(job);
+        }
+        debug_assert!(inner.closed);
+        None
     }
 
     /// Promotes a still-queued repair of `(stripe, failed)` to the
@@ -142,7 +150,7 @@ impl RepairQueue {
     /// when the request is not waiting in a lower class (already degraded,
     /// in flight, or unknown); in-flight work cannot be promoted.
     pub(crate) fn promote_to_degraded(&self, stripe: StripeId, failed: usize) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let matches = |q: &QueuedRepair| q.request.stripe == stripe && q.request.failed == failed;
         let found = if let Some(pos) = inner.corruption.iter().position(matches) {
             inner.corruption.remove(pos)
@@ -167,13 +175,13 @@ impl RepairQueue {
     /// Closes the queue: no further pushes are accepted, and `pop` returns
     /// `None` once the remaining work is drained.
     pub(crate) fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.inner.lock().closed = true;
         self.available.notify_all();
     }
 
     /// Number of requests currently waiting (not counting in-flight work).
     pub(crate) fn len(&self) -> usize {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.inner.lock();
         inner.degraded.len() + inner.corruption.len() + inner.background.len()
     }
 }

@@ -19,10 +19,11 @@
 //! ([`ScrubConfig::rate`]), so a scrub shares disks and CPU with foreground
 //! traffic instead of bursting through the whole cluster at once.
 
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use ecpipe_sync::OnceFlag;
 
 use crate::cluster::Cluster;
 use crate::transport::TokenBucket;
@@ -72,9 +73,9 @@ pub(crate) fn scrub_once<C: CoordHandle>(
     coord: &C,
     cluster: &Cluster,
     config: &ScrubConfig,
-    stop: Option<&AtomicBool>,
+    stop: Option<&OnceFlag>,
 ) -> ScrubCycle {
-    let stopped = || stop.is_some_and(|s| s.load(Ordering::Relaxed));
+    let stopped = || stop.is_some_and(OnceFlag::is_set);
     let started = Instant::now();
     let bucket = config.rate.map(TokenBucket::new);
     let mut cycle = ScrubCycle::default();
@@ -137,26 +138,26 @@ pub(crate) fn scrub_once<C: CoordHandle>(
 /// Runs scrub cycles at the configured cadence until stopped (or until the
 /// handle is dropped).
 pub struct Scrubber {
-    stop: Arc<AtomicBool>,
+    stop: Arc<OnceFlag>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl Scrubber {
     pub(crate) fn spawn<F>(name: &str, interval: Duration, mut cycle_fn: F) -> Self
     where
-        F: FnMut(&AtomicBool) + Send + 'static,
+        F: FnMut(&OnceFlag) + Send + 'static,
     {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(OnceFlag::new());
         let stop_flag = stop.clone();
         let handle = std::thread::Builder::new()
             .name(name.to_string())
             .spawn(move || {
-                while !stop_flag.load(Ordering::Relaxed) {
+                while !stop_flag.is_set() {
                     cycle_fn(&stop_flag);
                     // Sleep in short ticks so stop() stays responsive even
                     // with a long cycle interval.
                     let deadline = Instant::now() + interval;
-                    while !stop_flag.load(Ordering::Relaxed) {
+                    while !stop_flag.is_set() {
                         let now = Instant::now();
                         if now >= deadline {
                             break;
@@ -178,7 +179,7 @@ impl Scrubber {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.set();
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }

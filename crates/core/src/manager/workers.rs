@@ -11,18 +11,19 @@
 //! [`degraded_read_with_retry`](crate::recovery::degraded_read_with_retry).
 
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use bytes::Bytes;
 
 use ecc::stripe::BlockId;
+use ecpipe_sync::{Condvar, Mutex, OnceFlag};
 use simnet::NodeId;
 
 use crate::cluster::Cluster;
 use crate::coordinator::{RepairDirective, SelectionPolicy};
 use crate::exec;
+use crate::lock_order;
 use crate::transport::Transport;
 use crate::{Coordinator, EcPipeError, Result};
 
@@ -38,14 +39,14 @@ pub(crate) trait CoordHandle: Sync {
     fn with<R>(&self, f: impl FnOnce(&mut Coordinator) -> R) -> R;
 }
 
-impl CoordHandle for parking_lot::Mutex<Coordinator> {
+impl CoordHandle for Mutex<Coordinator> {
     fn with<R>(&self, f: impl FnOnce(&mut Coordinator) -> R) -> R {
         let mut guard = self.lock();
         f(&mut guard)
     }
 }
 
-impl CoordHandle for parking_lot::Mutex<&mut Coordinator> {
+impl CoordHandle for Mutex<&mut Coordinator> {
     fn with<R>(&self, f: impl FnOnce(&mut Coordinator) -> R) -> R {
         let mut guard = self.lock();
         f(&mut guard)
@@ -58,6 +59,9 @@ impl CoordHandle for parking_lot::Mutex<&mut Coordinator> {
 /// single lock, so partial reservations (and therefore deadlocks) cannot
 /// occur.
 pub(crate) struct AdmissionGate {
+    /// Lock class: `manager.gate` ([`lock_order::MANAGER_GATE`]). Held
+    /// while recording in-flight metrics, so it ranks below
+    /// `manager.metrics`.
     counts: Mutex<HashMap<NodeId, usize>>,
     freed: Condvar,
     cap: usize,
@@ -66,7 +70,7 @@ pub(crate) struct AdmissionGate {
 impl AdmissionGate {
     pub(crate) fn new(cap: usize) -> Self {
         AdmissionGate {
-            counts: Mutex::new(HashMap::new()),
+            counts: Mutex::new(&lock_order::MANAGER_GATE, HashMap::new()),
             freed: Condvar::new(),
             cap: cap.max(1),
         }
@@ -85,23 +89,20 @@ impl AdmissionGate {
         let mut distinct = nodes.to_vec();
         distinct.sort_unstable();
         distinct.dedup();
-        let mut counts = self.counts.lock().unwrap();
-        loop {
-            if distinct
+        let counts = self.counts.lock();
+        let mut counts = self.freed.wait_while(counts, |c| {
+            !distinct
                 .iter()
-                .all(|n| counts.get(n).copied().unwrap_or(0) < self.cap)
-            {
-                for &n in &distinct {
-                    let slot = counts.entry(n).or_insert(0);
-                    *slot += 1;
-                    metrics.record_inflight(n, *slot);
-                }
-                return RoleGuard {
-                    gate: self,
-                    nodes: distinct,
-                };
-            }
-            counts = self.freed.wait(counts).unwrap();
+                .all(|n| c.get(n).copied().unwrap_or(0) < self.cap)
+        });
+        for &n in &distinct {
+            let slot = counts.entry(n).or_insert(0);
+            *slot += 1;
+            metrics.record_inflight(n, *slot);
+        }
+        RoleGuard {
+            gate: self,
+            nodes: distinct,
         }
     }
 }
@@ -113,7 +114,7 @@ struct RoleGuard<'a> {
 
 impl Drop for RoleGuard<'_> {
     fn drop(&mut self) {
-        let mut counts = self.gate.counts.lock().unwrap();
+        let mut counts = self.gate.counts.lock();
         for n in &self.nodes {
             if let Some(slot) = counts.get_mut(n) {
                 *slot = slot.saturating_sub(1);
@@ -134,13 +135,18 @@ pub(crate) struct EngineState {
     /// Batch mode: the first failure aborts the run. Daemon mode records
     /// failures and keeps serving.
     fail_fast: bool,
-    abort: AtomicBool,
+    abort: OnceFlag,
+    /// Lock class: `engine.first_error`
+    /// ([`lock_order::ENGINE_FIRST_ERROR`]). Held while closing the queue,
+    /// so it ranks below `manager.queue`.
     first_error: Mutex<Option<EcPipeError>>,
     /// Requests enqueued but not yet completed (queued + in flight).
+    /// Lock class: `engine.pending` ([`lock_order::ENGINE_PENDING`]).
     pending: Mutex<usize>,
     idle: Condvar,
     /// Blocks currently queued or in flight, so a block is never repaired
     /// twice concurrently (degraded read racing auto-recovery).
+    /// Lock class: `engine.scheduled` ([`lock_order::ENGINE_SCHEDULED`]).
     scheduled: Mutex<HashSet<(u64, usize)>>,
     /// Notified whenever a block leaves `scheduled`, so callers can wait for
     /// one specific repair without draining the whole queue.
@@ -158,11 +164,11 @@ impl EngineState {
             liveness: Liveness::new(config.dead_after_misses, &config.known_dead),
             metrics: MetricsCollector::new(),
             fail_fast,
-            abort: AtomicBool::new(false),
-            first_error: Mutex::new(None),
-            pending: Mutex::new(0),
+            abort: OnceFlag::new(),
+            first_error: Mutex::new(&lock_order::ENGINE_FIRST_ERROR, None),
+            pending: Mutex::new(&lock_order::ENGINE_PENDING, 0),
             idle: Condvar::new(),
-            scheduled: Mutex::new(HashSet::new()),
+            scheduled: Mutex::new(&lock_order::ENGINE_SCHEDULED, HashSet::new()),
             scheduled_changed: Condvar::new(),
             auto_requestors: config.auto_requestors.clone(),
             auto_rr: AtomicUsize::new(0),
@@ -174,10 +180,10 @@ impl EngineState {
     /// closed.
     pub(crate) fn submit(&self, request: RepairRequest) -> Result<bool> {
         let key = (request.stripe.0, request.failed);
-        if !self.scheduled.lock().unwrap().insert(key) {
+        if !self.scheduled.lock().insert(key) {
             return Ok(false);
         }
-        *self.pending.lock().unwrap() += 1;
+        *self.pending.lock() += 1;
         if self.queue.push(request) {
             Ok(true)
         } else {
@@ -190,7 +196,7 @@ impl EngineState {
     /// Removes a block from the scheduled set and wakes anyone waiting for
     /// that specific repair to finish.
     fn unschedule(&self, key: (u64, usize)) {
-        self.scheduled.lock().unwrap().remove(&key);
+        self.scheduled.lock().remove(&key);
         self.scheduled_changed.notify_all();
     }
 
@@ -199,16 +205,16 @@ impl EngineState {
     /// nothing about whether the repair succeeded — callers re-read the
     /// store (or the metrics) to find out.
     pub(crate) fn wait_for(&self, key: (u64, usize)) {
-        let mut scheduled = self.scheduled.lock().unwrap();
-        while scheduled.contains(&key) {
-            scheduled = self.scheduled_changed.wait(scheduled).unwrap();
-        }
+        let scheduled = self.scheduled.lock();
+        let _scheduled = self
+            .scheduled_changed
+            .wait_while(scheduled, |s| s.contains(&key));
     }
 
     /// Marks one request finished (successfully or not) and wakes
     /// `wait_idle` when everything has drained.
     fn finish_pending(&self) {
-        let mut pending = self.pending.lock().unwrap();
+        let mut pending = self.pending.lock();
         *pending = pending.saturating_sub(1);
         if *pending == 0 {
             self.idle.notify_all();
@@ -217,28 +223,26 @@ impl EngineState {
 
     /// Blocks until no request is queued or in flight.
     pub(crate) fn wait_idle(&self) {
-        let mut pending = self.pending.lock().unwrap();
-        while *pending > 0 {
-            pending = self.idle.wait(pending).unwrap();
-        }
+        let pending = self.pending.lock();
+        let _pending = self.idle.wait_while(pending, |p| *p > 0);
     }
 
     pub(crate) fn aborted(&self) -> bool {
-        self.abort.load(Ordering::SeqCst)
+        self.abort.is_set()
     }
 
     fn abort_with(&self, error: EcPipeError) {
-        let mut first = self.first_error.lock().unwrap();
+        let mut first = self.first_error.lock();
         if first.is_none() {
             *first = Some(error);
         }
-        self.abort.store(true, Ordering::SeqCst);
+        self.abort.set();
         self.queue.close();
     }
 
     /// The first error of a fail-fast run, if any.
     pub(crate) fn take_error(&self) -> Option<EcPipeError> {
-        self.first_error.lock().unwrap().take()
+        self.first_error.lock().take()
     }
 
     /// The next live requestor from the auto-recovery pool (round-robin).

@@ -19,7 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use ecpipe_sync::RwLock;
+
+use crate::lock_order;
 
 use ecc::stripe::BlockId;
 
@@ -267,9 +269,18 @@ pub trait BlockStore: Send + Sync {
 }
 
 /// An in-memory block store.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MemoryStore {
+    /// Lock class: `store.memory` ([`lock_order::STORE_MEMORY`]).
     blocks: RwLock<HashMap<BlockId, Bytes>>,
+}
+
+impl Default for MemoryStore {
+    fn default() -> Self {
+        MemoryStore {
+            blocks: RwLock::new(&lock_order::STORE_MEMORY, HashMap::new()),
+        }
+    }
 }
 
 impl MemoryStore {

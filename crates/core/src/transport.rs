@@ -31,9 +31,11 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
+use ecpipe_sync::Mutex;
 
 use simnet::NodeId;
+
+use crate::lock_order;
 
 mod tcp;
 
@@ -45,7 +47,9 @@ pub use tcp::TcpTransport;
 pub(crate) struct TokenBucket {
     rate: f64,
     burst: f64,
-    state: std::sync::Mutex<(f64, Instant)>,
+    /// Lock class: `transport.token_bucket`
+    /// ([`lock_order::TRANSPORT_TOKEN_BUCKET`]).
+    state: Mutex<(f64, Instant)>,
 }
 
 impl TokenBucket {
@@ -61,7 +65,7 @@ impl TokenBucket {
         TokenBucket {
             rate,
             burst,
-            state: std::sync::Mutex::new((0.0, Instant::now())),
+            state: Mutex::new(&lock_order::TRANSPORT_TOKEN_BUCKET, (0.0, Instant::now())),
         }
     }
 
@@ -70,7 +74,7 @@ impl TokenBucket {
         while need > 0.0 {
             let wait;
             {
-                let mut state = self.state.lock().unwrap();
+                let mut state = self.state.lock();
                 let (ref mut tokens, ref mut last) = *state;
                 let now = Instant::now();
                 *tokens =
@@ -219,9 +223,17 @@ impl SliceReceiver {
 }
 
 /// Shared per-link traffic accounting, embedded by every backend.
-#[derive(Default)]
 pub struct StatsRegistry {
+    /// Lock class: `transport.stats` ([`lock_order::TRANSPORT_STATS`]).
     links: Mutex<HashMap<(NodeId, NodeId), Arc<LinkStats>>>,
+}
+
+impl Default for StatsRegistry {
+    fn default() -> Self {
+        StatsRegistry {
+            links: Mutex::new(&lock_order::TRANSPORT_STATS, HashMap::new()),
+        }
+    }
 }
 
 impl StatsRegistry {

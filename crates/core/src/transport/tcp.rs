@@ -41,12 +41,15 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ecpipe_sync::{Condvar, Mutex, OnceFlag};
 use simnet::NodeId;
+
+use crate::lock_order;
 
 use super::{
     SliceMsg, SliceReceiver, SliceRx, SliceSender, SliceTx, StatsRegistry, TokenBucket, Transport,
@@ -110,6 +113,7 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Frame> {
 /// Shared state of one logical link (queue on the receive side, credits on
 /// the send side).
 struct LinkState {
+    /// Lock class: `tcp.link_state` ([`lock_order::TCP_LINK_STATE`]).
     inner: Mutex<LinkInner>,
     readable: Condvar,
     writable: Condvar,
@@ -129,26 +133,29 @@ struct LinkInner {
 impl LinkState {
     fn new(capacity: usize) -> Self {
         LinkState {
-            inner: Mutex::new(LinkInner {
-                queue: VecDeque::new(),
-                credits: capacity.max(1),
-                sender_closed: false,
-                receiver_closed: false,
-                tx_dropped: false,
-                rx_dropped: false,
-            }),
+            inner: Mutex::new(
+                &lock_order::TCP_LINK_STATE,
+                LinkInner {
+                    queue: VecDeque::new(),
+                    credits: capacity.max(1),
+                    sender_closed: false,
+                    receiver_closed: false,
+                    tx_dropped: false,
+                    rx_dropped: false,
+                },
+            ),
             readable: Condvar::new(),
             writable: Condvar::new(),
         }
     }
 
     fn close_sender(&self) {
-        self.inner.lock().unwrap().sender_closed = true;
+        self.inner.lock().sender_closed = true;
         self.readable.notify_all();
     }
 
     fn close_receiver(&self) {
-        self.inner.lock().unwrap().receiver_closed = true;
+        self.inner.lock().receiver_closed = true;
         self.writable.notify_all();
     }
 }
@@ -156,6 +163,7 @@ impl LinkState {
 /// One reusable TCP connection for a directed node pair. All links between
 /// the pair share the writer; frames carry the link id for demultiplexing.
 struct Conn {
+    /// Lock class: `tcp.writer` ([`lock_order::TCP_WRITER`]).
     writer: Mutex<TcpStream>,
     /// Clone used to interrupt blocked I/O at shutdown.
     stream: TcpStream,
@@ -172,7 +180,7 @@ impl Conn {
         payload: &[u8],
     ) -> std::io::Result<()> {
         let header = encode_header(opcode, link, index, stripe, repair, payload.len() as u32);
-        let mut writer = self.writer.lock().unwrap();
+        let mut writer = self.writer.lock();
         writer.write_all(&header)?;
         writer.write_all(payload)
     }
@@ -183,14 +191,28 @@ struct ListenerHandle {
     accept_thread: Option<JoinHandle<()>>,
 }
 
-#[derive(Default)]
 struct Shared {
+    /// Lock class: `tcp.links` ([`lock_order::TCP_LINKS`]).
     links: Mutex<HashMap<u64, Arc<LinkState>>>,
     /// Links riding each directed connection, so a connection teardown can
     /// close the right receive queues.
+    ///
+    /// Lock class: `tcp.conn_links` ([`lock_order::TCP_CONN_LINKS`]).
     conn_links: Mutex<HashMap<(NodeId, NodeId), Vec<u64>>>,
-    shutdown: AtomicBool,
+    shutdown: OnceFlag,
+    /// Lock class: `tcp.reader_threads` ([`lock_order::TCP_READER_THREADS`]).
     reader_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Shared {
+            links: Mutex::new(&lock_order::TCP_LINKS, HashMap::new()),
+            conn_links: Mutex::new(&lock_order::TCP_CONN_LINKS, HashMap::new()),
+            shutdown: OnceFlag::new(),
+            reader_threads: Mutex::new(&lock_order::TCP_READER_THREADS, Vec::new()),
+        }
+    }
 }
 
 impl Shared {
@@ -199,7 +221,7 @@ impl Shared {
     /// transport does not accumulate state for finished repairs.
     fn release_link_half(&self, pair: (NodeId, NodeId), link_id: u64, link: &LinkState, tx: bool) {
         let both_dropped = {
-            let mut inner = link.inner.lock().unwrap();
+            let mut inner = link.inner.lock();
             if tx {
                 inner.tx_dropped = true;
             } else {
@@ -208,8 +230,8 @@ impl Shared {
             inner.tx_dropped && inner.rx_dropped
         };
         if both_dropped {
-            self.links.lock().unwrap().remove(&link_id);
-            if let Some(ids) = self.conn_links.lock().unwrap().get_mut(&pair) {
+            self.links.lock().remove(&link_id);
+            if let Some(ids) = self.conn_links.lock().get_mut(&pair) {
                 ids.retain(|&id| id != link_id);
             }
         }
@@ -221,11 +243,10 @@ impl Shared {
         let ids = self
             .conn_links
             .lock()
-            .unwrap()
             .get(&(src, dst))
             .cloned()
             .unwrap_or_default();
-        let links = self.links.lock().unwrap();
+        let links = self.links.lock();
         for id in ids {
             if let Some(link) = links.get(&id) {
                 link.close_sender();
@@ -254,17 +275,15 @@ impl SliceTx for TcpTx {
             .map_err(|reason| TransportError::Io(std::io::Error::other(reason.clone())))?;
         // Credit gate: block until the receiver has drained below capacity.
         {
-            let mut inner = self.link.inner.lock().unwrap();
-            loop {
-                if inner.receiver_closed {
-                    return Err(TransportError::Disconnected);
-                }
-                if inner.credits > 0 {
-                    inner.credits -= 1;
-                    break;
-                }
-                inner = self.link.writable.wait_timeout(inner, WAIT_TICK).unwrap().0;
+            let inner = self.link.inner.lock();
+            let mut inner = self
+                .link
+                .writable
+                .wait_while_tick(inner, WAIT_TICK, |s| !s.receiver_closed && s.credits == 0);
+            if inner.receiver_closed {
+                return Err(TransportError::Disconnected);
             }
+            inner.credits -= 1;
         }
         if let Some(bucket) = &self.bucket {
             bucket.take(HEADER_LEN + msg.data.len());
@@ -302,18 +321,15 @@ struct TcpRx {
 
 impl SliceRx for TcpRx {
     fn recv(&self) -> Option<SliceMsg> {
-        let mut inner = self.link.inner.lock().unwrap();
-        loop {
-            if let Some(msg) = inner.queue.pop_front() {
-                inner.credits += 1;
-                self.link.writable.notify_one();
-                return Some(msg);
-            }
-            if inner.sender_closed {
-                return None;
-            }
-            inner = self.link.readable.wait_timeout(inner, WAIT_TICK).unwrap().0;
-        }
+        let inner = self.link.inner.lock();
+        let mut inner = self
+            .link
+            .readable
+            .wait_while_tick(inner, WAIT_TICK, |s| s.queue.is_empty() && !s.sender_closed);
+        let msg = inner.queue.pop_front()?;
+        inner.credits += 1;
+        self.link.writable.notify_one();
+        Some(msg)
     }
 }
 
@@ -332,7 +348,9 @@ impl Drop for TcpRx {
 pub struct TcpTransport {
     stats: StatsRegistry,
     shared: Arc<Shared>,
+    /// Lock class: `tcp.listeners` ([`lock_order::TCP_LISTENERS`]).
     listeners: Mutex<HashMap<NodeId, ListenerHandle>>,
+    /// Lock class: `tcp.conns` ([`lock_order::TCP_CONNS`]).
     conns: Mutex<HashMap<(NodeId, NodeId), Arc<Conn>>>,
     next_link_id: AtomicU64,
     rate_limit: Option<u64>,
@@ -351,8 +369,8 @@ impl TcpTransport {
         TcpTransport {
             stats: StatsRegistry::default(),
             shared: Arc::new(Shared::default()),
-            listeners: Mutex::new(HashMap::new()),
-            conns: Mutex::new(HashMap::new()),
+            listeners: Mutex::new(&lock_order::TCP_LISTENERS, HashMap::new()),
+            conns: Mutex::new(&lock_order::TCP_CONNS, HashMap::new()),
             next_link_id: AtomicU64::new(1),
             rate_limit: None,
         }
@@ -370,7 +388,7 @@ impl TcpTransport {
     /// The loopback address a node's listener is bound to (binding it first
     /// if needed).
     fn listener_addr(&self, node: NodeId) -> std::io::Result<SocketAddr> {
-        let mut listeners = self.listeners.lock().unwrap();
+        let mut listeners = self.listeners.lock();
         if let Some(handle) = listeners.get(&node) {
             return Ok(handle.addr);
         }
@@ -391,11 +409,11 @@ impl TcpTransport {
     /// The reusable connection for a directed node pair (established on
     /// first use; every later link between the pair shares it).
     fn conn(&self, src: NodeId, dst: NodeId) -> std::io::Result<Arc<Conn>> {
-        if let Some(conn) = self.conns.lock().unwrap().get(&(src, dst)) {
+        if let Some(conn) = self.conns.lock().get(&(src, dst)) {
             return Ok(conn.clone());
         }
         let addr = self.listener_addr(dst)?;
-        let mut conns = self.conns.lock().unwrap();
+        let mut conns = self.conns.lock();
         // Double-checked: another thread may have connected meanwhile.
         if let Some(conn) = conns.get(&(src, dst)) {
             return Ok(conn.clone());
@@ -403,7 +421,7 @@ impl TcpTransport {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
         let conn = Arc::new(Conn {
-            writer: Mutex::new(stream.try_clone()?),
+            writer: Mutex::new(&lock_order::TCP_WRITER, stream.try_clone()?),
             stream,
         });
         conn.write_frame(OP_HELLO, src as u64, dst as u64, 0, 0, &[])?;
@@ -417,11 +435,7 @@ impl Transport for TcpTransport {
         let stats = self.stats.register(src, dst);
         let link_id = self.next_link_id.fetch_add(1, Ordering::Relaxed);
         let link = Arc::new(LinkState::new(capacity));
-        self.shared
-            .links
-            .lock()
-            .unwrap()
-            .insert(link_id, link.clone());
+        self.shared.links.lock().insert(link_id, link.clone());
         let conn = self
             .conn(src, dst)
             .map_err(|e| format!("tcp transport setup for link {src}->{dst} failed: {e}"));
@@ -433,7 +447,6 @@ impl Transport for TcpTransport {
         self.shared
             .conn_links
             .lock()
-            .unwrap()
             .entry((src, dst))
             .or_default()
             .push(link_id);
@@ -468,28 +481,28 @@ impl Transport for TcpTransport {
 
 impl Drop for TcpTransport {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.shutdown.set();
         // Unblock any straggling senders/receivers.
         {
-            let links = self.shared.links.lock().unwrap();
+            let links = self.shared.links.lock();
             for link in links.values() {
                 link.close_sender();
                 link.close_receiver();
             }
         }
         // Tear down connections; reader threads wake with EOF/error.
-        for conn in self.conns.lock().unwrap().values() {
+        for conn in self.conns.lock().values() {
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
         // Wake each accept loop with a throwaway connection, then join.
-        let mut listeners = self.listeners.lock().unwrap();
+        let mut listeners = self.listeners.lock();
         for handle in listeners.values_mut() {
             let _ = TcpStream::connect(handle.addr);
             if let Some(t) = handle.accept_thread.take() {
                 let _ = t.join();
             }
         }
-        let readers = std::mem::take(&mut *self.shared.reader_threads.lock().unwrap());
+        let readers = std::mem::take(&mut *self.shared.reader_threads.lock());
         for t in readers {
             let _ = t.join();
         }
@@ -498,13 +511,13 @@ impl Drop for TcpTransport {
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     while let Ok((stream, _)) = listener.accept() {
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.shutdown.is_set() {
             break;
         }
         stream.set_nodelay(true).ok();
         let shared_for_reader = shared.clone();
         let reader = std::thread::spawn(move || reader_loop(stream, shared_for_reader));
-        shared.reader_threads.lock().unwrap().push(reader);
+        shared.reader_threads.lock().push(reader);
     }
 }
 
@@ -520,9 +533,9 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 pair = Some((frame.link as NodeId, frame.index as NodeId));
             }
             OP_DATA => {
-                let link = shared.links.lock().unwrap().get(&frame.link).cloned();
+                let link = shared.links.lock().get(&frame.link).cloned();
                 if let Some(link) = link {
-                    let mut inner = link.inner.lock().unwrap();
+                    let mut inner = link.inner.lock();
                     if !inner.receiver_closed {
                         inner.queue.push_back(SliceMsg {
                             index: frame.index as usize,
@@ -535,7 +548,7 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
                 }
             }
             OP_EOS => {
-                let link = shared.links.lock().unwrap().get(&frame.link).cloned();
+                let link = shared.links.lock().get(&frame.link).cloned();
                 if let Some(link) = link {
                     link.close_sender();
                 }
@@ -582,7 +595,7 @@ mod tests {
             .unwrap();
         assert_eq!(rx1.recv().unwrap().data, Bytes::from_static(b"a"));
         assert_eq!(rx2.recv().unwrap().data, Bytes::from_static(b"b"));
-        assert_eq!(transport.conns.lock().unwrap().len(), 1);
+        assert_eq!(transport.conns.lock().len(), 1);
     }
 
     #[test]
@@ -606,12 +619,11 @@ mod tests {
             drop((tx, rx));
         }
         // Both halves gone → no per-link state left behind.
-        assert!(transport.shared.links.lock().unwrap().is_empty());
+        assert!(transport.shared.links.lock().is_empty());
         assert!(transport
             .shared
             .conn_links
             .lock()
-            .unwrap()
             .values()
             .all(|ids| ids.is_empty()));
     }

@@ -1,0 +1,38 @@
+//! Static lock classes.
+//!
+//! Every checked lock in the workspace is tagged with a [`LockClass`]: a
+//! `static` carrying a human-readable name and an explicit numeric rank.
+//! Ranks define the global acquisition order — a thread may only acquire a
+//! lock whose rank is strictly greater than the rank of every lock it
+//! already holds. Class identity is the address of the `static`, so two
+//! classes with the same name are still distinct (but the workspace lint
+//! rejects duplicate names and ranks anyway).
+
+/// A static identity + rank for a family of locks.
+///
+/// Declare classes with the [`lock_class!`](crate::lock_class) macro rather
+/// than constructing this directly, so the workspace lint can audit the rank
+/// table.
+#[derive(Debug)]
+pub struct LockClass {
+    name: &'static str,
+    rank: u32,
+}
+
+impl LockClass {
+    /// Creates a class. Prefer [`lock_class!`](crate::lock_class).
+    pub const fn new(name: &'static str, rank: u32) -> Self {
+        LockClass { name, rank }
+    }
+
+    /// Human-readable class name, e.g. `"manager.queue"`.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquisition rank. Locks must be taken in strictly increasing rank
+    /// order within a thread.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+}

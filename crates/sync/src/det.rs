@@ -1,0 +1,552 @@
+//! Deterministic-interleaving scheduler for model tests.
+//!
+//! [`DetScheduler`] runs a set of *virtual threads* (real OS threads
+//! coordinated by a run token) such that exactly one executes at a time and
+//! every scheduling decision — who runs next, which waiter a notify picks,
+//! whether a spurious wakeup fires — is a pure function of the seed. A model
+//! of a concurrent algorithm marks its interesting points with
+//! [`SchedHandle::yield_now`] and waits with [`SchedHandle::wait_while`];
+//! driving the model through many seeds then explores many interleavings
+//! *reproducibly*, so a failing schedule is a failing seed, not a flake.
+//!
+//! Two bug classes surface as first-class outcomes rather than hangs:
+//!
+//! * **Stalls** — if every unfinished virtual thread is blocked in a wait,
+//!   [`DetScheduler::run`] returns a [`StallError`] naming the blocked
+//!   threads (a deadlock or missed wakeup, caught deterministically).
+//! * **Spurious wakeups** — [`DetScheduler::with_spurious_wakeups`] injects
+//!   seeded wakeups, so a wait that doesn't re-check its predicate
+//!   ([`SchedHandle::wait`] without a loop) is flushed out by the harness.
+//!
+//! Model state shared between virtual threads lives in [`DetCell`]s; because
+//! only one virtual thread runs at a time the cell is never contended, it
+//! just satisfies `Send`/`Sync`.
+
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Identifier for a virtual condition variable; allocate with
+/// [`DetScheduler::condvar`] before [`DetScheduler::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CvId(usize);
+
+/// A virtual-thread body: runs under the scheduler via the handle it is
+/// given.
+pub type VThread<'env> = Box<dyn FnOnce(&SchedHandle) + Send + 'env>;
+
+/// Every unfinished virtual thread is blocked: a deadlock or missed wakeup.
+#[derive(Debug, Clone)]
+pub struct StallError {
+    /// `(thread index, condvar id)` for each blocked thread.
+    pub blocked: Vec<(usize, usize)>,
+}
+
+impl fmt::Display for StallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scheduler stall: all unfinished virtual threads are blocked:"
+        )?;
+        for (tid, cv) in &self.blocked {
+            write!(f, " thread {tid} on condvar {cv};")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for StallError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    RoundRobin,
+    Random,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VStatus {
+    Ready,
+    Running,
+    Blocked(usize),
+    Done,
+}
+
+/// Marker payload used to unwind virtual threads out of a run that is
+/// aborting (stall detected or another thread panicked). Swallowed by the
+/// scheduler; never escapes to the caller.
+struct Aborted;
+
+struct SchedState {
+    status: Vec<VStatus>,
+    current: Option<usize>,
+    rng: u64,
+    policy: Policy,
+    spurious: bool,
+    rr_next: usize,
+    aborting: bool,
+    stalled: Option<StallError>,
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct SchedShared {
+    state: StdMutex<SchedState>,
+    cv: StdCondvar,
+}
+
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Picks the next virtual thread to run; detects stalls; optionally injects
+/// a spurious wakeup first. Called whenever the running thread relinquishes.
+fn schedule_next(st: &mut SchedState) {
+    if st.spurious {
+        let blocked: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, VStatus::Blocked(_)))
+            .map(|(t, _)| t)
+            .collect();
+        if !blocked.is_empty() && next_rand(&mut st.rng).is_multiple_of(4) {
+            let pick = blocked[(next_rand(&mut st.rng) as usize) % blocked.len()];
+            st.status[pick] = VStatus::Ready;
+        }
+    }
+    let ready: Vec<usize> = st
+        .status
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, VStatus::Ready))
+        .map(|(t, _)| t)
+        .collect();
+    if ready.is_empty() {
+        st.current = None;
+        let blocked: Vec<(usize, usize)> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter_map(|(t, s)| match s {
+                VStatus::Blocked(cv) => Some((t, *cv)),
+                _ => None,
+            })
+            .collect();
+        if !blocked.is_empty() {
+            st.stalled = Some(StallError { blocked });
+            st.aborting = true;
+        }
+        return;
+    }
+    let pick = match st.policy {
+        Policy::RoundRobin => *ready
+            .iter()
+            .find(|&&t| t >= st.rr_next)
+            .unwrap_or(&ready[0]),
+        Policy::Random => ready[(next_rand(&mut st.rng) as usize) % ready.len()],
+    };
+    st.rr_next = pick + 1;
+    st.current = Some(pick);
+}
+
+/// Parks the calling OS thread until its virtual thread is granted the run
+/// token. Panics with the `Aborted` marker if the run is tearing down.
+fn wait_for_turn(shared: &SchedShared, tid: usize) {
+    let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let abort = loop {
+        if st.aborting {
+            break true;
+        }
+        if st.current == Some(tid) {
+            st.status[tid] = VStatus::Running;
+            break false;
+        }
+        st = shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    };
+    drop(st);
+    if abort {
+        panic::panic_any(Aborted);
+    }
+}
+
+/// Handle a virtual thread uses to mark yield points, wait, and notify.
+pub struct SchedHandle {
+    shared: Arc<SchedShared>,
+    tid: usize,
+}
+
+impl SchedHandle {
+    /// Index of this virtual thread in the `run` vector.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// A scheduling point: the scheduler may switch to any ready thread
+    /// (including staying on this one).
+    pub fn yield_now(&self) {
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.status[self.tid] = VStatus::Ready;
+            schedule_next(&mut st);
+        }
+        self.shared.cv.notify_all();
+        wait_for_turn(&self.shared, self.tid);
+    }
+
+    /// Blocks on `cv` until notified (or spuriously woken, if injection is
+    /// enabled). Prefer [`SchedHandle::wait_while`]: a bare wait that
+    /// doesn't re-check its predicate is exactly the missed-wakeup bug this
+    /// harness exists to catch.
+    pub fn wait(&self, cv: CvId) {
+        {
+            let mut st = self
+                .shared
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            st.status[self.tid] = VStatus::Blocked(cv.0);
+            schedule_next(&mut st);
+        }
+        self.shared.cv.notify_all();
+        wait_for_turn(&self.shared, self.tid);
+    }
+
+    /// Blocks on `cv` while `pred` returns `true`. The predicate check and
+    /// the transition to blocked are atomic with respect to virtual-thread
+    /// scheduling (no yield point between them), mirroring a real
+    /// condition-variable wait under its mutex.
+    pub fn wait_while(&self, cv: CvId, mut pred: impl FnMut() -> bool) {
+        while pred() {
+            self.wait(cv);
+        }
+    }
+
+    /// Wakes one thread blocked on `cv` (seed-chosen under the random
+    /// policy; lowest index under round-robin). The woken thread runs when
+    /// next scheduled; the notifier keeps the token.
+    pub fn notify_one(&self, cv: CvId) {
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let blocked: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == VStatus::Blocked(cv.0))
+            .map(|(t, _)| t)
+            .collect();
+        if !blocked.is_empty() {
+            let pick = match st.policy {
+                Policy::RoundRobin => blocked[0],
+                Policy::Random => blocked[(next_rand(&mut st.rng) as usize) % blocked.len()],
+            };
+            st.status[pick] = VStatus::Ready;
+        }
+    }
+
+    /// Wakes every thread blocked on `cv`.
+    pub fn notify_all(&self, cv: CvId) {
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        for s in st.status.iter_mut() {
+            if *s == VStatus::Blocked(cv.0) {
+                *s = VStatus::Ready;
+            }
+        }
+    }
+}
+
+/// Seeded scheduler over virtual threads. See the [module docs](self).
+#[derive(Debug)]
+pub struct DetScheduler {
+    policy: Policy,
+    seed: u64,
+    spurious: bool,
+    next_cv: usize,
+}
+
+impl DetScheduler {
+    /// Round-robin policy: always picks the next ready thread in index
+    /// order. One canonical interleaving, useful as a smoke schedule.
+    pub fn round_robin() -> Self {
+        DetScheduler {
+            policy: Policy::RoundRobin,
+            seed: 0,
+            spurious: false,
+            next_cv: 0,
+        }
+    }
+
+    /// Randomized policy: scheduling decisions are drawn from a splitmix64
+    /// stream seeded with `seed`. Same seed, same interleaving.
+    pub fn seeded(seed: u64) -> Self {
+        DetScheduler {
+            policy: Policy::Random,
+            seed,
+            spurious: false,
+            next_cv: 0,
+        }
+    }
+
+    /// Enables seeded spurious wakeups: at each scheduling point one
+    /// blocked thread may be woken without a notify.
+    pub fn with_spurious_wakeups(mut self) -> Self {
+        self.spurious = true;
+        self
+    }
+
+    /// Allocates a virtual condition variable.
+    pub fn condvar(&mut self) -> CvId {
+        let id = self.next_cv;
+        self.next_cv += 1;
+        CvId(id)
+    }
+
+    /// Runs the virtual threads to completion.
+    ///
+    /// Returns [`StallError`] if the run reached a state where every
+    /// unfinished thread was blocked. A panic inside a virtual thread
+    /// (e.g. a model assertion failure) aborts the run and resumes on the
+    /// caller.
+    pub fn run(self, threads: Vec<VThread<'_>>) -> Result<(), StallError> {
+        let n = threads.len();
+        let shared = Arc::new(SchedShared {
+            state: StdMutex::new(SchedState {
+                status: vec![VStatus::Ready; n],
+                current: None,
+                rng: self.seed,
+                policy: self.policy,
+                spurious: self.spurious,
+                rr_next: 0,
+                aborting: false,
+                stalled: None,
+                panic_payload: None,
+            }),
+            cv: StdCondvar::new(),
+        });
+        {
+            let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+            schedule_next(&mut st);
+        }
+        std::thread::scope(|scope| {
+            for (tid, f) in threads.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                scope.spawn(move || vthread_main(shared, tid, f));
+            }
+        });
+        let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(payload) = st.panic_payload.take() {
+            drop(st);
+            panic::resume_unwind(payload);
+        }
+        match st.stalled.take() {
+            Some(stall) => Err(stall),
+            None => Ok(()),
+        }
+    }
+}
+
+fn vthread_main(shared: Arc<SchedShared>, tid: usize, f: VThread<'_>) {
+    let handle = SchedHandle {
+        shared: Arc::clone(&shared),
+        tid,
+    };
+    let result = panic::catch_unwind(AssertUnwindSafe(move || {
+        wait_for_turn(&handle.shared, tid);
+        f(&handle);
+    }));
+    let mut st = shared.state.lock().unwrap_or_else(PoisonError::into_inner);
+    st.status[tid] = VStatus::Done;
+    match result {
+        Ok(()) => {}
+        Err(payload) if payload.is::<Aborted>() => {}
+        Err(payload) => {
+            if st.panic_payload.is_none() {
+                st.panic_payload = Some(payload);
+            }
+            st.aborting = true;
+        }
+    }
+    if !st.aborting {
+        schedule_next(&mut st);
+    }
+    drop(st);
+    shared.cv.notify_all();
+}
+
+/// Shared mutable model state for virtual threads.
+///
+/// Internally a mutex, but never contended: the scheduler guarantees one
+/// virtual thread runs at a time, so `with` is effectively a plain borrow.
+pub struct DetCell<T> {
+    inner: Arc<StdMutex<T>>,
+}
+
+impl<T> DetCell<T> {
+    /// Creates a cell holding `value`.
+    pub fn new(value: T) -> Self {
+        DetCell {
+            inner: Arc::new(StdMutex::new(value)),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the value.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.inner.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Clones the current value out.
+    pub fn get(&self) -> T
+    where
+        T: Clone,
+    {
+        self.with(|v| v.clone())
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, value: T) {
+        self.with(|v| *v = value);
+    }
+}
+
+impl<T> Clone for DetCell<T> {
+    fn clone(&self) -> Self {
+        DetCell {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for DetCell<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.with(|v| f.debug_tuple("DetCell").field(v).finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_order_is_deterministic() {
+        for _ in 0..3 {
+            let trace = DetCell::new(Vec::new());
+            let sched = DetScheduler::round_robin();
+            let mk = |tag: u32| {
+                let trace = trace.clone();
+                Box::new(move |h: &SchedHandle| {
+                    trace.with(|t| t.push((tag, 0)));
+                    h.yield_now();
+                    trace.with(|t| t.push((tag, 1)));
+                }) as VThread<'_>
+            };
+            sched.run(vec![mk(0), mk(1), mk(2)]).unwrap();
+            assert_eq!(
+                trace.get(),
+                vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]
+            );
+        }
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let run_once = |seed: u64| {
+            let trace = DetCell::new(Vec::new());
+            let sched = DetScheduler::seeded(seed);
+            let mk = |tag: u32| {
+                let trace = trace.clone();
+                Box::new(move |h: &SchedHandle| {
+                    for step in 0..3 {
+                        trace.with(|t| t.push((tag, step)));
+                        h.yield_now();
+                    }
+                }) as VThread<'_>
+            };
+            sched.run(vec![mk(0), mk(1), mk(2)]).unwrap();
+            trace.get()
+        };
+        assert_eq!(run_once(7), run_once(7));
+        // At least one other seed produces a different interleaving.
+        let base = run_once(7);
+        assert!((0..32u64).any(|s| run_once(s) != base));
+    }
+
+    #[test]
+    fn never_notified_wait_is_a_stall() {
+        let mut sched = DetScheduler::round_robin();
+        let cv = sched.condvar();
+        let err = sched
+            .run(vec![Box::new(move |h: &SchedHandle| h.wait(cv))])
+            .unwrap_err();
+        assert_eq!(err.blocked, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn notify_before_wait_is_lost_and_stalls() {
+        // The classic missed wakeup: the notification fires before the
+        // waiter blocks, so the waiter sleeps forever.
+        let mut sched = DetScheduler::round_robin();
+        let cv = sched.condvar();
+        let err = sched
+            .run(vec![
+                Box::new(move |h: &SchedHandle| h.notify_one(cv)) as VThread<'_>,
+                Box::new(move |h: &SchedHandle| {
+                    h.yield_now(); // let the notifier go first
+                    h.wait(cv);
+                }),
+            ])
+            .unwrap_err();
+        assert_eq!(err.blocked, vec![(1, 0)]);
+    }
+
+    #[test]
+    fn wait_while_survives_spurious_wakeups() {
+        for seed in 0..16 {
+            let mut sched = DetScheduler::seeded(seed).with_spurious_wakeups();
+            let cv = sched.condvar();
+            let flag = DetCell::new(false);
+            let waiter_flag = flag.clone();
+            let setter_flag = flag.clone();
+            sched
+                .run(vec![
+                    Box::new(move |h: &SchedHandle| {
+                        h.wait_while(cv, || !waiter_flag.get());
+                        assert!(waiter_flag.get(), "woke with predicate still false");
+                    }) as VThread<'_>,
+                    Box::new(move |h: &SchedHandle| {
+                        for _ in 0..4 {
+                            h.yield_now();
+                        }
+                        setter_flag.set(true);
+                        h.notify_all(cv);
+                    }),
+                ])
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn vthread_panic_propagates_to_caller() {
+        let sched = DetScheduler::round_robin();
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            sched.run(vec![
+                Box::new(|_h: &SchedHandle| panic!("model assertion")) as VThread<'_>
+            ])
+        }));
+        let payload = result.unwrap_err();
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "model assertion");
+    }
+}

@@ -1,0 +1,236 @@
+//! Global lock-order graph.
+//!
+//! Checked locks record every `held → acquiring` class pair here. The graph
+//! accumulates edges across the whole process, so a conflicting order is
+//! caught the *first* time two classes are ever taken both ways — even if the
+//! two acquisitions happen on different threads, minutes apart, and never
+//! actually deadlock in this run. [`OrderGraph::record`] returns a
+//! [`CycleError`] carrying the acquisition locations of every edge on the
+//! cycle; the checked lock wrappers turn that into a panic.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::Location;
+use std::sync::{Mutex, OnceLock};
+
+use crate::LockClass;
+
+/// One recorded `from → to` ordering with the source locations that first
+/// established it.
+#[derive(Debug, Clone)]
+pub struct OrderEdge {
+    /// Class that was already held.
+    pub from: &'static LockClass,
+    /// Class that was acquired while `from` was held.
+    pub to: &'static LockClass,
+    /// Where `from` was acquired when the edge was first recorded.
+    pub held_at: String,
+    /// Where `to` was acquired when the edge was first recorded.
+    pub acquired_at: String,
+}
+
+/// A lock-order cycle: the new edge that would close it plus the existing
+/// path back from `to` to `from`.
+#[derive(Debug, Clone)]
+pub struct CycleError {
+    /// The edge whose insertion closed the cycle.
+    pub new_edge: OrderEdge,
+    /// Previously recorded edges forming a path `new_edge.to → … →
+    /// new_edge.from`. Empty for a self-cycle.
+    pub path: Vec<OrderEdge>,
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "lock-order cycle detected:")?;
+        writeln!(
+            f,
+            "  `{}` -> `{}`: `{}` held at {}, `{}` acquired at {} (new)",
+            self.new_edge.from.name(),
+            self.new_edge.to.name(),
+            self.new_edge.from.name(),
+            self.new_edge.held_at,
+            self.new_edge.to.name(),
+            self.new_edge.acquired_at,
+        )?;
+        for e in &self.path {
+            writeln!(
+                f,
+                "  `{}` -> `{}`: `{}` held at {}, `{}` acquired at {}",
+                e.from.name(),
+                e.to.name(),
+                e.from.name(),
+                e.held_at,
+                e.to.name(),
+                e.acquired_at,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Class identity is the address of its `static`.
+fn id(class: &'static LockClass) -> usize {
+    class as *const LockClass as usize
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Adjacency: `from` class id → (`to` class id → edge info).
+    edges: HashMap<usize, HashMap<usize, OrderEdge>>,
+}
+
+/// A directed graph of observed lock-class orderings with cycle detection.
+#[derive(Default)]
+pub struct OrderGraph {
+    inner: Mutex<Inner>,
+}
+
+impl OrderGraph {
+    /// Creates an empty graph. Tests use fresh graphs; runtime checking uses
+    /// [`OrderGraph::global`].
+    pub fn new() -> Self {
+        OrderGraph::default()
+    }
+
+    /// The process-wide graph that checked locks record into.
+    pub fn global() -> &'static OrderGraph {
+        static GLOBAL: OnceLock<OrderGraph> = OnceLock::new();
+        GLOBAL.get_or_init(OrderGraph::new)
+    }
+
+    /// Records that `to` was acquired while `from` was held.
+    ///
+    /// Returns `Err` if the edge closes a cycle (including `from == to`).
+    /// Duplicate edges are cheap no-ops.
+    pub fn record(
+        &self,
+        from: &'static LockClass,
+        to: &'static LockClass,
+        held_at: &Location<'_>,
+        acquired_at: &Location<'_>,
+    ) -> Result<(), CycleError> {
+        let new_edge = OrderEdge {
+            from,
+            to,
+            held_at: held_at.to_string(),
+            acquired_at: acquired_at.to_string(),
+        };
+        if id(from) == id(to) {
+            return Err(CycleError {
+                new_edge,
+                path: Vec::new(),
+            });
+        }
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(out) = g.edges.get(&id(from)) {
+            if out.contains_key(&id(to)) {
+                return Ok(());
+            }
+        }
+        if let Some(path) = reach_path(&g, id(to), id(from)) {
+            return Err(CycleError { new_edge, path });
+        }
+        g.edges
+            .entry(id(from))
+            .or_default()
+            .insert(id(to), new_edge);
+        Ok(())
+    }
+
+    /// Number of distinct edges recorded so far.
+    pub fn edge_count(&self) -> usize {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.edges.values().map(HashMap::len).sum()
+    }
+}
+
+/// BFS from `start` to `goal` over recorded edges; returns the edge path if
+/// `goal` is reachable.
+fn reach_path(g: &Inner, start: usize, goal: usize) -> Option<Vec<OrderEdge>> {
+    let mut prev: HashMap<usize, OrderEdge> = HashMap::new();
+    let mut queue = std::collections::VecDeque::from([start]);
+    while let Some(node) = queue.pop_front() {
+        if node == goal {
+            // Walk predecessors back to `start`.
+            let mut path = Vec::new();
+            let mut cur = goal;
+            while cur != start {
+                let edge = prev.get(&cur).expect("predecessor recorded").clone();
+                cur = id(edge.from);
+                path.push(edge);
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if let Some(out) = g.edges.get(&node) {
+            for (next, edge) in out {
+                if *next != start && !prev.contains_key(next) {
+                    prev.insert(*next, edge.clone());
+                    queue.push_back(*next);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static A: LockClass = LockClass::new("test.a", 1);
+    static B: LockClass = LockClass::new("test.b", 2);
+    static C: LockClass = LockClass::new("test.c", 3);
+
+    fn here() -> &'static Location<'static> {
+        Location::caller()
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        let g = OrderGraph::new();
+        g.record(&A, &B, here(), here()).unwrap();
+        let err = g.record(&B, &A, here(), here()).unwrap_err();
+        assert_eq!(err.new_edge.from.name(), "test.b");
+        assert_eq!(err.path.len(), 1);
+        let msg = err.to_string();
+        assert!(msg.contains("test.a") && msg.contains("test.b"), "{msg}");
+    }
+
+    #[test]
+    fn three_cycle_detected() {
+        let g = OrderGraph::new();
+        g.record(&A, &B, here(), here()).unwrap();
+        g.record(&B, &C, here(), here()).unwrap();
+        let err = g.record(&C, &A, here(), here()).unwrap_err();
+        assert_eq!(err.path.len(), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn self_cycle_detected() {
+        let g = OrderGraph::new();
+        let err = g.record(&A, &A, here(), here()).unwrap_err();
+        assert!(err.path.is_empty());
+    }
+
+    #[test]
+    fn diamond_is_not_a_cycle() {
+        let g = OrderGraph::new();
+        g.record(&A, &B, here(), here()).unwrap();
+        g.record(&A, &C, here(), here()).unwrap();
+        g.record(&B, &C, here(), here()).unwrap();
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_edge_is_noop() {
+        let g = OrderGraph::new();
+        g.record(&A, &B, here(), here()).unwrap();
+        g.record(&A, &B, here(), here()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

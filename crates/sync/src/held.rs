@@ -1,0 +1,82 @@
+//! Per-thread held-lock bookkeeping (checked builds only).
+//!
+//! Each thread tracks the classes of the locks it currently holds. On every
+//! acquisition the set is checked — recursive acquisition of a class,
+//! nesting of equal-rank classes, and rank-order violations panic
+//! immediately — and every `held → acquiring` pair is fed to the global
+//! [`OrderGraph`](crate::OrderGraph), which panics on the first cycle with
+//! the acquisition locations of every edge involved.
+
+use std::cell::RefCell;
+use std::panic::Location;
+
+use crate::{graph, LockClass};
+
+struct Held {
+    class: &'static LockClass,
+    at: &'static Location<'static>,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Validates acquiring `class` at `at` against this thread's held set and
+/// the global order graph, then records it as held.
+///
+/// Panics on recursive acquisition, equal-rank nesting, decreasing-rank
+/// acquisition, or a lock-order cycle. Runs *before* blocking on the
+/// underlying lock, so a would-be deadlock panics instead of hanging.
+pub(crate) fn on_acquire(class: &'static LockClass, at: &'static Location<'static>) {
+    HELD.with(|cell| {
+        let mut held = cell.borrow_mut();
+        for h in held.iter() {
+            if std::ptr::eq(h.class, class) {
+                panic!(
+                    "lock-order violation: recursive acquisition of lock class `{}` (rank {}) \
+                     at {at}; already held since {}",
+                    class.name(),
+                    class.rank(),
+                    h.at,
+                );
+            }
+            if h.class.rank() == class.rank() {
+                panic!(
+                    "lock-order violation: acquiring `{}` at {at} while holding `{}` \
+                     (both rank {}, held since {}); equal-rank classes must never nest",
+                    class.name(),
+                    h.class.name(),
+                    class.rank(),
+                    h.at,
+                );
+            }
+            if h.class.rank() > class.rank() {
+                panic!(
+                    "lock-order violation: acquiring `{}` (rank {}) at {at} while holding `{}` \
+                     (rank {}, held since {}); locks must be acquired in increasing rank order",
+                    class.name(),
+                    class.rank(),
+                    h.class.name(),
+                    h.class.rank(),
+                    h.at,
+                );
+            }
+        }
+        for h in held.iter() {
+            if let Err(cycle) = graph::OrderGraph::global().record(h.class, class, h.at, at) {
+                panic!("{cycle}");
+            }
+        }
+        held.push(Held { class, at });
+    });
+}
+
+/// Removes `class` from this thread's held set (guard drop or condvar wait).
+pub(crate) fn on_release(class: &'static LockClass) {
+    HELD.with(|cell| {
+        let mut held = cell.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|h| std::ptr::eq(h.class, class)) {
+            held.remove(pos);
+        }
+    });
+}

@@ -1,0 +1,95 @@
+//! `ecpipe-sync`: rank-checked synchronization primitives for the
+//! repair-pipelining workspace.
+//!
+//! The runtime's repair manager overlaps many in-flight transfers behind a
+//! population of locks; a lock-order inversion or missed wakeup silently
+//! serializes or wedges exactly that overlap. This crate makes those bug
+//! classes detectable (or unrepresentable) without taxing release builds:
+//!
+//! * **Release builds** — [`Mutex`], [`RwLock`], [`Condvar`] and
+//!   [`OnceFlag`] compile to zero-cost passthroughs over the parking_lot
+//!   shim (a size-equality test pins the claim).
+//! * **Debug builds and `RUSTFLAGS="--cfg ecpipe_sync_check"`** — every
+//!   lock is tagged with a static [`LockClass`] (declared via
+//!   [`lock_class!`] with an explicit rank). A thread-local held-set
+//!   enforces strictly-increasing rank order and feeds the global
+//!   [`OrderGraph`], which panics with the acquisition locations of every
+//!   edge on the first cycle: a conflicting order is caught the first time
+//!   two classes are ever taken both ways, on any interleaving, whether or
+//!   not it deadlocked this run.
+//! * **All builds** — [`Condvar`] has no bare `wait()`: the only wait
+//!   operations are [`Condvar::wait_while`] and
+//!   [`Condvar::wait_while_tick`], so a wait that forgets its predicate
+//!   (the missed-wakeup bug class) is a type error.
+//!
+//! The [`det`] module provides a deterministic-interleaving scheduler for
+//! model-testing concurrent algorithms under seeded thread schedules,
+//! including injected spurious wakeups and stall (deadlock/missed-wakeup)
+//! detection.
+//!
+//! # Declaring a lock class
+//!
+//! ```
+//! use ecpipe_sync::{lock_class, Mutex};
+//!
+//! lock_class!(
+//!     /// Protects the example's counter.
+//!     pub EXAMPLE_COUNTER = ("example.counter", rank = 10)
+//! );
+//!
+//! let m = Mutex::new(&EXAMPLE_COUNTER, 0u64);
+//! *m.lock() += 1;
+//! assert_eq!(*m.lock(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+pub mod det;
+mod graph;
+mod once;
+
+pub use class::LockClass;
+pub use graph::{CycleError, OrderEdge, OrderGraph};
+pub use once::OnceFlag;
+
+#[cfg(any(debug_assertions, ecpipe_sync_check))]
+mod checked;
+#[cfg(any(debug_assertions, ecpipe_sync_check))]
+mod held;
+#[cfg(any(debug_assertions, ecpipe_sync_check))]
+pub use checked::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(not(any(debug_assertions, ecpipe_sync_check)))]
+mod passthrough;
+#[cfg(not(any(debug_assertions, ecpipe_sync_check)))]
+pub use passthrough::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Whether this build validates lock ordering (debug or
+/// `--cfg ecpipe_sync_check`). Release builds without the cfg report
+/// `false` and use the passthrough wrappers.
+pub const CHECKS_ENABLED: bool = cfg!(any(debug_assertions, ecpipe_sync_check));
+
+/// Declares a static [`LockClass`] with an explicit rank.
+///
+/// Ranks order acquisitions: a thread may only acquire a class whose rank
+/// is strictly greater than every class it already holds. The workspace
+/// lint (`cargo run -p xtask -- lint`) rejects duplicate ranks and names
+/// across the whole tree, so pick the next free rank in the hierarchy table
+/// (docs/ARCHITECTURE.md, "Lock hierarchy").
+///
+/// ```
+/// ecpipe_sync::lock_class!(
+///     /// Protects the frobnicator table.
+///     pub FROB_TABLE = ("example.frob_table", rank = 42)
+/// );
+/// assert_eq!(FROB_TABLE.rank(), 42);
+/// ```
+#[macro_export]
+macro_rules! lock_class {
+    ($(#[$meta:meta])* $vis:vis $name:ident = ($label:expr, rank = $rank:expr)) => {
+        $(#[$meta])*
+        $vis static $name: $crate::LockClass = $crate::LockClass::new($label, $rank);
+    };
+}

@@ -1,0 +1,49 @@
+//! One-way boolean flags.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A set-once flag for shutdown/abort signalling.
+///
+/// Unlike a bare `AtomicBool`, the API admits only the transition
+/// `unset → set`, so "who clears this and when" is not a question reviewers
+/// have to answer. Identical in all build modes (atomics need no ordering
+/// checks).
+#[derive(Debug, Default)]
+pub struct OnceFlag {
+    set: AtomicBool,
+}
+
+impl OnceFlag {
+    /// Creates an unset flag.
+    pub const fn new() -> Self {
+        OnceFlag {
+            set: AtomicBool::new(false),
+        }
+    }
+
+    /// Sets the flag. Returns `true` if this call performed the transition
+    /// (i.e. the flag was previously unset).
+    pub fn set(&self) -> bool {
+        !self.set.swap(true, Ordering::AcqRel)
+    }
+
+    /// Whether the flag has been set.
+    pub fn is_set(&self) -> bool {
+        self.set.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_transitions_once() {
+        let f = OnceFlag::new();
+        assert!(!f.is_set());
+        assert!(f.set());
+        assert!(f.is_set());
+        assert!(!f.set(), "second set reports no transition");
+        assert!(f.is_set());
+    }
+}

@@ -1,0 +1,41 @@
+//! Pins the release-mode zero-cost claim.
+//!
+//! In builds without `debug_assertions` or `--cfg ecpipe_sync_check`
+//! (i.e. `cargo test --release`), the wrappers must be layout-identical to
+//! the primitives they forward to — no class pointer, no bookkeeping.
+
+#[cfg(not(any(debug_assertions, ecpipe_sync_check)))]
+use std::mem::size_of;
+
+#[test]
+fn checks_enabled_matches_build_mode() {
+    assert_eq!(
+        ecpipe_sync::CHECKS_ENABLED,
+        cfg!(any(debug_assertions, ecpipe_sync_check))
+    );
+}
+
+#[cfg(not(any(debug_assertions, ecpipe_sync_check)))]
+#[test]
+fn release_wrappers_are_zero_cost() {
+    assert_eq!(
+        size_of::<ecpipe_sync::Mutex<u64>>(),
+        size_of::<parking_lot::Mutex<u64>>()
+    );
+    assert_eq!(
+        size_of::<ecpipe_sync::RwLock<Vec<u8>>>(),
+        size_of::<parking_lot::RwLock<Vec<u8>>>()
+    );
+    assert_eq!(
+        size_of::<ecpipe_sync::Condvar>(),
+        size_of::<std::sync::Condvar>()
+    );
+    assert_eq!(
+        size_of::<ecpipe_sync::OnceFlag>(),
+        size_of::<std::sync::atomic::AtomicBool>()
+    );
+    assert_eq!(
+        size_of::<ecpipe_sync::MutexGuard<'_, u64>>(),
+        size_of::<parking_lot::MutexGuard<'_, u64>>()
+    );
+}

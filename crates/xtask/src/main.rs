@@ -1,0 +1,46 @@
+//! `cargo run -p xtask -- lint [ROOT...]`
+//!
+//! Runs the lock-discipline lint (see the library crate docs for the rules)
+//! over the workspace, or over explicit roots when given — the latter is
+//! how the lint's own tests point it at planted-violation fixtures.
+//! Exits 0 when clean, 1 with findings on stderr, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {}
+        other => {
+            eprintln!(
+                "usage: cargo run -p xtask -- lint [ROOT...]   (got {:?})",
+                other.unwrap_or("nothing")
+            );
+            return ExitCode::from(2);
+        }
+    }
+    let roots: Vec<PathBuf> = args.map(PathBuf::from).collect();
+    let result = if roots.is_empty() {
+        xtask::lint_workspace()
+    } else {
+        xtask::lint_paths(&roots)
+    };
+    match result {
+        Ok(findings) if findings.is_empty() => {
+            eprintln!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for finding in &findings {
+                eprintln!("{finding}");
+            }
+            eprintln!("xtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: I/O error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
