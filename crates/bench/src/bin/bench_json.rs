@@ -1,47 +1,100 @@
-//! Turns a `BENCH_RESULTS_LOG` file into the `BENCH_results.json` artifact.
+//! Turns a `BENCH_RESULTS_LOG` file into the `BENCH_results.json` artifact,
+//! optionally gating on the committed baseline.
 //!
 //! ```sh
 //! BENCH_SMOKE=1 BENCH_RESULTS_LOG=bench-log.tsv cargo bench -p ecpipe-bench \
 //!     --bench gf_kernels --bench runtime_exec
-//! cargo run -p ecpipe-bench --bin bench_json -- bench-log.tsv BENCH_results.json
+//! cargo run -p ecpipe-bench --bin bench_json -- bench-log.tsv BENCH_results.json \
+//!     --compare BENCH_baseline.json --tolerance 0.5
 //! ```
 //!
-//! Exits non-zero (failing the CI job) if the log is missing, empty or
-//! malformed, or if the output cannot be written — a benchmark pipeline
-//! that cannot produce numbers must not pretend it did.
+//! With `--compare`, every benchmark tracked by the baseline must appear in
+//! this run and stay within `1 + tolerance` of its recorded median, or the
+//! process exits non-zero (failing the CI job) after printing the
+//! per-benchmark table. See `docs/BENCHMARKS.md` for the baseline-refresh
+//! procedure.
+//!
+//! Also exits non-zero if the log is missing, empty or malformed, or if
+//! the output cannot be written — a benchmark pipeline that cannot produce
+//! numbers must not pretend it did.
 
-use ecpipe_bench::results::{parse_log, render_json};
+use ecpipe_bench::results::{compare, parse_log, parse_results_json, render_json};
+
+/// Default allowed fractional slowdown. Smoke-mode medians come from a
+/// handful of samples on shared runners, so the gate only trips on integer-
+/// factor regressions, not scheduling noise.
+const DEFAULT_TOLERANCE: f64 = 0.5;
+
+fn fail(msg: String) -> ! {
+    eprintln!("bench_json: {msg}");
+    std::process::exit(1);
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let (log_path, out_path) = match &args[1..] {
-        [log, out] => (log.clone(), out.clone()),
-        _ => {
-            eprintln!("usage: bench_json <bench-results-log> <output-json>");
-            std::process::exit(2);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut baseline_path: Option<String> = None;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--compare" => match it.next() {
+                Some(path) => baseline_path = Some(path),
+                None => fail("--compare requires a baseline path".to_string()),
+            },
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|v| v.is_finite() && *v >= 0.0)
+                    .unwrap_or_else(|| {
+                        fail("--tolerance requires a non-negative number".to_string())
+                    });
+            }
+            _ => positional.push(arg),
         }
-    };
-    let text = match std::fs::read_to_string(&log_path) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("bench_json: cannot read {log_path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    let records = match parse_log(&text) {
-        Ok(records) => records,
-        Err(e) => {
-            eprintln!("bench_json: malformed bench log {log_path}: {e}");
-            std::process::exit(1);
-        }
-    };
-    let json = render_json(&records);
-    if let Err(e) = std::fs::write(&out_path, &json) {
-        eprintln!("bench_json: cannot write {out_path}: {e}");
-        std::process::exit(1);
     }
+    let [log_path, out_path] = positional.as_slice() else {
+        eprintln!(
+            "usage: bench_json <bench-results-log> <output-json> \
+             [--compare <baseline-json>] [--tolerance <fraction>]"
+        );
+        std::process::exit(2);
+    };
+
+    let text = std::fs::read_to_string(log_path)
+        .unwrap_or_else(|e| fail(format!("cannot read {log_path}: {e}")));
+    let records =
+        parse_log(&text).unwrap_or_else(|e| fail(format!("malformed bench log {log_path}: {e}")));
+    let json = render_json(&records);
+    std::fs::write(out_path, &json)
+        .unwrap_or_else(|e| fail(format!("cannot write {out_path}: {e}")));
     println!(
         "bench_json: wrote {} benchmark result(s) to {out_path}",
         records.len()
     );
+
+    if let Some(baseline_path) = baseline_path {
+        let baseline_text = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| fail(format!("cannot read baseline {baseline_path}: {e}")));
+        let baseline = parse_results_json(&baseline_text)
+            .unwrap_or_else(|e| fail(format!("malformed baseline {baseline_path}: {e}")));
+        let cmp = compare(&baseline, &records, tolerance);
+        print!("{}", cmp.render());
+        if cmp.passed() {
+            println!(
+                "bench_json: {} tracked benchmark(s) within {:.0}% of baseline",
+                cmp.entries.len(),
+                tolerance * 100.0
+            );
+        } else {
+            fail(format!(
+                "{} regression(s), {} missing tracked benchmark(s) vs {baseline_path} \
+                 (tolerance {:.0}%) — see docs/BENCHMARKS.md for the refresh procedure",
+                cmp.regressions().len(),
+                cmp.missing.len(),
+                tolerance * 100.0
+            ));
+        }
+    }
 }

@@ -132,6 +132,193 @@ pub fn render_json(records: &[BenchRecord]) -> String {
     out
 }
 
+fn unescape_json(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('u') => {
+                let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                let code = u32::from_str_radix(&hex, 16)
+                    .map_err(|_| format!("bad \\u escape in {s:?}"))?;
+                out.push(char::from_u32(code).ok_or_else(|| format!("bad \\u escape in {s:?}"))?);
+            }
+            other => return Err(format!("bad escape {other:?} in {s:?}")),
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a `BENCH_results.json` / `BENCH_baseline.json` document back into
+/// records. This is not a general JSON parser — it accepts exactly the
+/// stable one-record-per-line shape [`render_json`] emits (which is also
+/// what reviewers diff in the committed baseline), and errors on anything
+/// else rather than guessing.
+pub fn parse_results_json(text: &str) -> Result<Vec<BenchRecord>, String> {
+    fn field(tail: &str, key: &str) -> Option<String> {
+        let tagged = format!("\"{key}\": ");
+        let start = tail.find(&tagged)? + tagged.len();
+        let rest = &tail[start..];
+        let end = rest.find([',', '}'])?;
+        Some(rest[..end].trim().to_string())
+    }
+
+    let mut records = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.starts_with('{') || !line.contains("\"name\"") {
+            continue;
+        }
+        let entry = line.trim_end_matches(',');
+        const NAME_TAG: &str = "\"name\": \"";
+        let name_start = entry
+            .find(NAME_TAG)
+            .ok_or_else(|| format!("unparseable results entry: {line}"))?
+            + NAME_TAG.len();
+        let after_name = &entry[name_start..];
+        // Find the name's closing quote, skipping escaped ones; everything
+        // after it is numeric fields, so `field` can split on , and }.
+        let name_len = {
+            let mut backslashes = 0usize;
+            after_name
+                .char_indices()
+                .find_map(|(i, c)| match c {
+                    '\\' => {
+                        backslashes += 1;
+                        None
+                    }
+                    '"' if backslashes.is_multiple_of(2) => Some(i),
+                    _ => {
+                        backslashes = 0;
+                        None
+                    }
+                })
+                .ok_or_else(|| format!("unterminated name in entry: {line}"))?
+        };
+        let name = unescape_json(&after_name[..name_len])?;
+        let tail = &after_name[name_len + 1..];
+        let ns_per_iter = field(tail, "ns_per_iter")
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| format!("entry {name:?}: missing or bad ns_per_iter"))?;
+        let parse_opt = |key: &str| field(tail, key).and_then(|v| v.parse::<f64>().ok());
+        records.push(BenchRecord {
+            name,
+            ns_per_iter,
+            bytes_per_sec: parse_opt("bytes_per_sec"),
+            elements_per_sec: parse_opt("elements_per_sec"),
+        });
+    }
+    if records.is_empty() {
+        return Err("no benchmark entries found in results JSON".to_string());
+    }
+    records.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(records)
+}
+
+/// One tracked benchmark's baseline-vs-current medians.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonEntry {
+    /// Benchmark name (`group/function/param`).
+    pub name: String,
+    /// Median ns/iter recorded in the committed baseline.
+    pub baseline_ns: f64,
+    /// Median ns/iter measured by this run.
+    pub current_ns: f64,
+}
+
+impl ComparisonEntry {
+    /// `current / baseline`: 1.0 is unchanged, above 1.0 is slower.
+    pub fn ratio(&self) -> f64 {
+        self.current_ns / self.baseline_ns
+    }
+}
+
+/// The result of comparing a run against the committed baseline.
+///
+/// Every benchmark *in the baseline* is tracked: it must be present in the
+/// current run and within tolerance of its recorded median. Benchmarks the
+/// current run adds are fine — they become tracked when the baseline is
+/// refreshed (see `docs/BENCHMARKS.md`).
+#[derive(Debug)]
+pub struct Comparison {
+    /// One entry per tracked benchmark present in both sets.
+    pub entries: Vec<ComparisonEntry>,
+    /// Tracked benchmarks the current run did not produce — a fail: a
+    /// deleted bench silently un-tracks a number the gate was protecting.
+    pub missing: Vec<String>,
+    /// Allowed fractional slowdown (`0.5` = fail beyond 1.5× baseline).
+    pub tolerance: f64,
+}
+
+impl Comparison {
+    /// Tracked benchmarks that regressed beyond tolerance.
+    pub fn regressions(&self) -> Vec<&ComparisonEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.ratio() > 1.0 + self.tolerance)
+            .collect()
+    }
+
+    /// Whether the gate passes: nothing missing, nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.regressions().is_empty()
+    }
+
+    /// A human-readable per-benchmark table for the CI log.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let verdict = if e.ratio() > 1.0 + self.tolerance {
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            out.push_str(&format!(
+                "{:<50} {:>12.1} -> {:>12.1} ns  ({:>5.2}x)  {verdict}\n",
+                e.name,
+                e.baseline_ns,
+                e.current_ns,
+                e.ratio()
+            ));
+        }
+        for name in &self.missing {
+            out.push_str(&format!("{name:<50} MISSING from this run\n"));
+        }
+        out
+    }
+}
+
+/// Compares current medians against the committed baseline. `tolerance` is
+/// the allowed fractional slowdown per tracked benchmark.
+pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord], tolerance: f64) -> Comparison {
+    let current_by_name: std::collections::HashMap<&str, &BenchRecord> =
+        current.iter().map(|r| (r.name.as_str(), r)).collect();
+    let mut entries = Vec::new();
+    let mut missing = Vec::new();
+    for b in baseline {
+        match current_by_name.get(b.name.as_str()) {
+            Some(c) => entries.push(ComparisonEntry {
+                name: b.name.clone(),
+                baseline_ns: b.ns_per_iter,
+                current_ns: c.ns_per_iter,
+            }),
+            None => missing.push(b.name.clone()),
+        }
+    }
+    Comparison {
+        entries,
+        missing,
+        tolerance,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +379,67 @@ mod tests {
         }];
         let json = render_json(&records);
         assert!(json.contains("weird\\\"name\\\\with\\u0009control"));
+    }
+
+    #[test]
+    fn results_json_roundtrips_through_the_parser() {
+        let records = parse_log(
+            "g/mul/32768\t1500.5\t42666666.667\t-\n\
+             exec/repair\t900000.0\t-\t12.5\n\
+             weird\"name\t10.0\t-\t-\n",
+        )
+        .unwrap();
+        let parsed = parse_results_json(&render_json(&records)).unwrap();
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn results_json_parser_rejects_garbage() {
+        assert!(parse_results_json("").is_err());
+        assert!(parse_results_json("{\n  \"benchmarks\": []\n}\n").is_err());
+        assert!(parse_results_json("    {\"name\": \"x\", \"ns_per_iter\": -3.0},\n").is_err());
+        assert!(parse_results_json("    {\"name\": \"x\"},\n").is_err());
+    }
+
+    fn rec(name: &str, ns: f64) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            ns_per_iter: ns,
+            bytes_per_sec: None,
+            elements_per_sec: None,
+        }
+    }
+
+    #[test]
+    fn compare_passes_within_tolerance_and_ignores_new_benches() {
+        let baseline = vec![rec("a", 100.0), rec("b", 1000.0)];
+        let current = vec![rec("a", 140.0), rec("b", 900.0), rec("brand_new", 5.0)];
+        let cmp = compare(&baseline, &current, 0.5);
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert_eq!(cmp.entries.len(), 2);
+        assert!(cmp.missing.is_empty());
+    }
+
+    #[test]
+    fn compare_fails_on_regression_beyond_tolerance() {
+        let baseline = vec![rec("a", 100.0), rec("b", 1000.0)];
+        let current = vec![rec("a", 151.0), rec("b", 1000.0)];
+        let cmp = compare(&baseline, &current, 0.5);
+        assert!(!cmp.passed());
+        let regressions = cmp.regressions();
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "a");
+        assert!(cmp.render().contains("REGRESSED"), "{}", cmp.render());
+    }
+
+    #[test]
+    fn compare_fails_when_a_tracked_bench_disappears() {
+        let baseline = vec![rec("a", 100.0), rec("gone", 50.0)];
+        let current = vec![rec("a", 100.0)];
+        let cmp = compare(&baseline, &current, 0.5);
+        assert!(!cmp.passed());
+        assert_eq!(cmp.missing, vec!["gone".to_string()]);
+        assert!(cmp.render().contains("MISSING"), "{}", cmp.render());
     }
 }

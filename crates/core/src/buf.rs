@@ -1,0 +1,235 @@
+//! Pooled, reference-counted slice buffers.
+//!
+//! The repair executors allocate one partial-sum buffer per slice per
+//! helper; at the paper's slice sizes (tens of KiB) and pipeline depths
+//! that is thousands of short-lived allocations per repaired block. A
+//! [`BufPool`] recycles them: [`BufPool::take`] hands out a zeroed
+//! [`PooledBuf`] to accumulate into, [`PooledBuf::freeze`] turns it into an
+//! immutable [`Bytes`] view that flows through transport framing and store
+//! writes without copying, and when the last view drops, the underlying
+//! allocation returns to the pool for the next slice.
+//!
+//! The pool is deliberately simple — a bounded free-list, not a slab with
+//! size classes — because repair traffic is monoculture: within one repair
+//! every buffer has the same slice (or bundle) size, so the head of the
+//! free-list almost always fits and mismatched buffers are just resized in
+//! place.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use ecpipe_sync::Mutex;
+
+use crate::lock_order;
+
+/// How many returned buffers a pool retains before letting extras drop.
+/// One pipeline's worth of slices in flight plus headroom for the
+/// requestor-side copies; beyond that, holding memory costs more than the
+/// malloc it saves.
+const DEFAULT_MAX_RETAINED: usize = 32;
+
+struct PoolInner {
+    /// Lock class: `buf.pool` ([`lock_order::BUF_POOL`]).
+    free: Mutex<Vec<Vec<u8>>>,
+    max_retained: usize,
+}
+
+/// A bounded free-list of slice buffers shared by the threads of a repair.
+///
+/// Cloning the pool is cheap (it is an `Arc` handle); every clone feeds the
+/// same free-list.
+///
+/// ```
+/// use ecpipe::BufPool;
+///
+/// let pool = BufPool::new();
+/// let mut buf = pool.take(8);
+/// buf.copy_from_slice(b"01234567");
+/// let bytes = buf.freeze();
+/// assert_eq!(&bytes[..], b"01234567");
+/// drop(bytes); // allocation returns to the pool
+/// assert_eq!(pool.retained(), 1);
+/// ```
+#[derive(Clone)]
+pub struct BufPool {
+    inner: Arc<PoolInner>,
+}
+
+impl BufPool {
+    /// Creates a pool retaining up to a small default number of buffers.
+    pub fn new() -> Self {
+        BufPool::with_max_retained(DEFAULT_MAX_RETAINED)
+    }
+
+    /// Creates a pool retaining at most `max_retained` returned buffers.
+    pub fn with_max_retained(max_retained: usize) -> Self {
+        BufPool {
+            inner: Arc::new(PoolInner {
+                free: Mutex::new(&lock_order::BUF_POOL, Vec::new()),
+                max_retained,
+            }),
+        }
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` bytes, reusing a
+    /// previously returned allocation when one is available.
+    pub fn take(&self, len: usize) -> PooledBuf {
+        let recycled = self.inner.free.lock().pop();
+        let data = match recycled {
+            Some(mut vec) => {
+                // Zero whatever prefix survives and extend with zeros; the
+                // result is indistinguishable from a fresh `vec![0; len]`.
+                vec.clear();
+                vec.resize(len, 0);
+                vec
+            }
+            None => vec![0u8; len],
+        };
+        PooledBuf {
+            data,
+            pool: Arc::clone(&self.inner),
+        }
+    }
+
+    /// How many buffers are currently parked in the free-list.
+    pub fn retained(&self) -> usize {
+        self.inner.free.lock().len()
+    }
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        BufPool::new()
+    }
+}
+
+impl std::fmt::Debug for BufPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufPool")
+            .field("retained", &self.retained())
+            .field("max_retained", &self.inner.max_retained)
+            .finish()
+    }
+}
+
+/// A mutable buffer checked out of a [`BufPool`].
+///
+/// Dereferences to `[u8]` for in-place accumulation;
+/// [`freeze`](PooledBuf::freeze) converts it into an immutable shared
+/// [`Bytes`] without copying. Whether frozen or simply dropped, the
+/// allocation returns to its pool once the last reference goes away.
+pub struct PooledBuf {
+    data: Vec<u8>,
+    pool: Arc<PoolInner>,
+}
+
+impl PooledBuf {
+    /// Converts into an immutable [`Bytes`] view sharing this allocation.
+    /// Clones and sub-slices of the result all reference the same memory;
+    /// the buffer re-enters the pool when the last of them drops.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from_owner(self)
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for PooledBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let vec = std::mem::take(&mut self.data);
+        if vec.capacity() == 0 {
+            return;
+        }
+        let mut free = self.pool.free.lock();
+        if free.len() < self.pool.max_retained {
+            free.push(vec);
+        }
+    }
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_are_recycled_through_freeze_and_drop() {
+        let pool = BufPool::new();
+        assert_eq!(pool.retained(), 0);
+
+        let buf = pool.take(1024);
+        let ptr = buf.as_ref().as_ptr() as usize;
+        let bytes = buf.freeze();
+        let view = bytes.slice(100..200);
+        drop(bytes);
+        assert_eq!(pool.retained(), 0, "a live view keeps the buffer out");
+        drop(view);
+        assert_eq!(pool.retained(), 1, "last view returns the buffer");
+
+        // The next take reuses the same allocation.
+        let again = pool.take(512);
+        assert_eq!(again.as_ref().as_ptr() as usize, ptr);
+        assert!(again.iter().all(|&b| b == 0), "recycled buffers are zeroed");
+        assert_eq!(pool.retained(), 0);
+    }
+
+    #[test]
+    fn recycled_buffers_grow_and_are_fully_zeroed() {
+        let pool = BufPool::new();
+        let mut buf = pool.take(16);
+        buf.copy_from_slice(&[0xAA; 16]);
+        drop(buf);
+        let grown = pool.take(64);
+        assert_eq!(grown.len(), 64);
+        assert!(grown.iter().all(|&b| b == 0), "no stale bytes survive");
+    }
+
+    #[test]
+    fn retention_is_bounded() {
+        let pool = BufPool::with_max_retained(2);
+        let bufs: Vec<_> = (0..5).map(|_| pool.take(8)).collect();
+        drop(bufs);
+        assert_eq!(pool.retained(), 2);
+    }
+
+    #[test]
+    fn freeze_then_slice_is_zero_copy() {
+        let before = bytes::shim_metrics::deep_copy_bytes();
+        let pool = BufPool::new();
+        let mut buf = pool.take(4096);
+        buf[0] = 7;
+        let bytes = buf.freeze();
+        let s = bytes.slice(0..1);
+        assert_eq!(s[0], 7);
+        assert_eq!(
+            bytes::shim_metrics::deep_copy_bytes(),
+            before,
+            "take → freeze → slice must not deep-copy"
+        );
+    }
+}

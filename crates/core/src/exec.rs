@@ -27,6 +27,7 @@ use gf256::Gf256;
 
 use ecc::slice::SliceLayout;
 
+use crate::buf::BufPool;
 use crate::cluster::Cluster;
 use crate::coordinator::{MultiRepairDirective, RepairDirective};
 use crate::transport::{SliceMsg, Transport};
@@ -125,6 +126,10 @@ fn run_pipeline<T: Transport + ?Sized>(
     }
     let (stripe, repair) = (directive.stripe.0, directive.repair_id());
 
+    // One pool serves the whole path: a partial buffer freed by the
+    // downstream consumer is reused for a later slice, so the steady state
+    // allocates nothing per slice.
+    let pool = BufPool::new();
     std::thread::scope(|scope| -> Result<Vec<u8>> {
         let mut handles = Vec::new();
         let mut prev_rx = None;
@@ -137,10 +142,11 @@ fn run_pipeline<T: Transport + ?Sized>(
             let (tx, rx) = transport.link(node, next_node, PIPELINE_DEPTH);
             let store = cluster.store(node).clone();
             let incoming = prev_rx.replace(rx);
+            let pool = pool.clone();
             handles.push(scope.spawn(move || -> Result<()> {
                 for j in 0..slices {
                     let local = store.get_range(block, layout.slice_range(j))?;
-                    let mut partial = vec![0u8; local.len()];
+                    let mut partial = pool.take(local.len());
                     gf256::mul_slice(Gf256::new(coeff), &local, &mut partial);
                     if let Some(rx) = &incoming {
                         let msg = rx
@@ -148,7 +154,7 @@ fn run_pipeline<T: Transport + ?Sized>(
                             .ok_or_else(|| execution_error("upstream helper stopped early"))?;
                         gf256::add_slice(&msg.data, &mut partial);
                     }
-                    tx.send(SliceMsg::new(j, Bytes::from(partial)).tagged(stripe, repair))?;
+                    tx.send(SliceMsg::new(j, partial.freeze()).tagged(stripe, repair))?;
                 }
                 Ok(())
             }));
@@ -291,9 +297,11 @@ fn run_ppr<T: Transport + ?Sized>(
                 .map(|(sender, receiver, sender_partial, mut receiver_partial)| {
                     let (tx, rx) = transport.link(sender, receiver, PIPELINE_DEPTH);
                     let send_handle = scope.spawn(move || -> Result<()> {
+                        // Freeze the whole partial once; each slice message
+                        // is a view into the same allocation.
+                        let sender_bytes = Bytes::from(sender_partial);
                         for j in 0..slices {
-                            let range = layout.slice_range(j);
-                            let data = Bytes::copy_from_slice(&sender_partial[range]);
+                            let data = sender_bytes.slice(layout.slice_range(j));
                             tx.send(SliceMsg::new(j, data).tagged(stripe, repair))?;
                         }
                         Ok(())
@@ -368,6 +376,7 @@ pub fn execute_multi<T: Transport + ?Sized>(
         .map(|&r| transport.link(last_helper, r, slices.max(PIPELINE_DEPTH)))
         .unzip();
 
+    let pool = BufPool::new();
     std::thread::scope(|scope| -> Result<Vec<Vec<u8>>> {
         let mut handles = Vec::new();
         let mut prev_rx = None;
@@ -394,10 +403,11 @@ pub fn execute_multi<T: Transport + ?Sized>(
             } else {
                 None
             };
+            let pool = pool.clone();
             handles.push(scope.spawn(move || -> Result<()> {
                 for j in 0..slices {
                     let local = store.get_range(block, layout.slice_range(j))?;
-                    let mut bundle = vec![0u8; f * local.len()];
+                    let mut bundle = pool.take(f * local.len());
                     if let Some(rx) = &incoming {
                         let msg = rx
                             .recv()
@@ -411,12 +421,15 @@ pub fn execute_multi<T: Transport + ?Sized>(
                             &mut bundle[row * local.len()..(row + 1) * local.len()],
                         );
                     }
+                    let bundle = bundle.freeze();
                     if let Some(tx) = &forward {
-                        tx.send(SliceMsg::new(j, Bytes::from(bundle)).tagged(stripe, repair))?;
+                        tx.send(SliceMsg::new(j, bundle).tagged(stripe, repair))?;
                     } else if let Some(delivery) = &delivery {
+                        // Each requestor receives a view into the shared
+                        // bundle, not its own copy.
                         for (row, tx) in delivery.iter().enumerate() {
-                            let slice = bundle[row * local.len()..(row + 1) * local.len()].to_vec();
-                            tx.send(SliceMsg::new(j, Bytes::from(slice)).tagged(stripe, repair))?;
+                            let slice = bundle.slice(row * local.len()..(row + 1) * local.len());
+                            tx.send(SliceMsg::new(j, slice).tagged(stripe, repair))?;
                         }
                     }
                 }

@@ -79,6 +79,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod buf;
 mod cluster;
 mod coordinator;
 mod error;
@@ -91,6 +92,7 @@ pub mod recovery;
 mod store;
 pub mod transport;
 
+pub use buf::{BufPool, PooledBuf};
 pub use cluster::Cluster;
 pub use coordinator::{
     Coordinator, MultiRepairDirective, ObjectMeta, RepairDirective, SelectionPolicy, StripeMeta,

@@ -131,6 +131,13 @@ lock_class!(
 );
 
 lock_class!(
+    /// [`BufPool`](crate::BufPool) free-list of recycled slice buffers.
+    /// Leaf: taken for a push/pop only, with nothing held and holding
+    /// nothing.
+    pub BUF_POOL = ("buf.pool", rank = 76)
+);
+
+lock_class!(
     /// Token-bucket rate-limiter state. Leaf; taken with nothing held.
     pub TRANSPORT_TOKEN_BUCKET = ("transport.token_bucket", rank = 80)
 );

@@ -4,8 +4,14 @@
 //! a partial sum using a decoding coefficient `a_i`:
 //! `partial += a_i * B_i`. These kernels are the byte-level inner loops for
 //! that operation, working on whole slices at a time.
+//!
+//! Each call delegates to the process-wide kernel selection made by
+//! [`crate::simd::Kernels::active`] — vectorized split-table loops where the
+//! host supports them, the portable scalar loops otherwise. See the
+//! [`crate::simd`] module for the dispatch rules and the
+//! `ECPIPE_GF_FORCE` override.
 
-use crate::tables::mul_table;
+use crate::simd::Kernels;
 use crate::Gf256;
 
 /// Computes `dst[j] = coeff * src[j]` for every byte.
@@ -14,23 +20,7 @@ use crate::Gf256;
 ///
 /// Panics if `dst` and `src` have different lengths.
 pub fn mul_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
-    assert_eq!(
-        src.len(),
-        dst.len(),
-        "mul_slice: src and dst must have equal length"
-    );
-    if coeff.is_zero() {
-        dst.fill(0);
-        return;
-    }
-    if coeff == Gf256::ONE {
-        dst.copy_from_slice(src);
-        return;
-    }
-    let row = &mul_table()[coeff.value() as usize];
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d = row[*s as usize];
-    }
+    Kernels::active().mul_slice(coeff, src, dst);
 }
 
 /// Computes `dst[j] ^= coeff * src[j]` for every byte (multiply-accumulate).
@@ -39,24 +29,7 @@ pub fn mul_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
 ///
 /// Panics if `dst` and `src` have different lengths.
 pub fn mul_add_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
-    assert_eq!(
-        src.len(),
-        dst.len(),
-        "mul_add_slice: src and dst must have equal length"
-    );
-    if coeff.is_zero() {
-        return;
-    }
-    if coeff == Gf256::ONE {
-        for (d, s) in dst.iter_mut().zip(src.iter()) {
-            *d ^= *s;
-        }
-        return;
-    }
-    let row = &mul_table()[coeff.value() as usize];
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d ^= row[*s as usize];
-    }
+    Kernels::active().mul_add_slice(coeff, src, dst);
 }
 
 /// Computes `dst[j] ^= src[j]` for every byte (plain XOR accumulate).
@@ -65,29 +38,12 @@ pub fn mul_add_slice(coeff: Gf256, src: &[u8], dst: &mut [u8]) {
 ///
 /// Panics if `dst` and `src` have different lengths.
 pub fn add_slice(src: &[u8], dst: &mut [u8]) {
-    assert_eq!(
-        src.len(),
-        dst.len(),
-        "add_slice: src and dst must have equal length"
-    );
-    for (d, s) in dst.iter_mut().zip(src.iter()) {
-        *d ^= *s;
-    }
+    Kernels::active().add_slice(src, dst);
 }
 
 /// Scales a slice in place: `data[j] = coeff * data[j]`.
 pub fn scale_slice_in_place(coeff: Gf256, data: &mut [u8]) {
-    if coeff == Gf256::ONE {
-        return;
-    }
-    if coeff.is_zero() {
-        data.fill(0);
-        return;
-    }
-    let row = &mul_table()[coeff.value() as usize];
-    for d in data.iter_mut() {
-        *d = row[*d as usize];
-    }
+    Kernels::active().scale_slice_in_place(coeff, data);
 }
 
 #[cfg(test)]

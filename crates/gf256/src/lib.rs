@@ -12,6 +12,11 @@
 //! * [`Matrix`] — a dense matrix over GF(2^8) with Gauss-Jordan inversion,
 //!   used to derive encoding matrices and single-block repair coefficients.
 //!
+//! The slice kernels are runtime-dispatched: on hosts with SSSE3/AVX2
+//! (x86/x86_64) or NEON (aarch64) they run vectorized split-table loops,
+//! falling back to portable scalar code elsewhere. See the [`simd`] module
+//! for the dispatch rules and the `ECPIPE_GF_FORCE` override.
+//!
 //! # Examples
 //!
 //! ```
@@ -22,17 +27,22 @@
 //! assert_eq!(a + a, Gf256::ZERO);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the SIMD submodules opt back in with
+// `#![allow(unsafe_code)]`, and the workspace lint (`cargo run -p xtask --
+// lint`) confines `unsafe` to exactly those files.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod field;
 mod kernels;
 mod matrix;
+pub mod simd;
 mod tables;
 
 pub use field::Gf256;
 pub use kernels::{add_slice, mul_add_slice, mul_slice, scale_slice_in_place};
 pub use matrix::Matrix;
+pub use simd::{active_path, KernelPath, Kernels};
 
 /// The number of elements in GF(2^8).
 pub const FIELD_SIZE: usize = 256;

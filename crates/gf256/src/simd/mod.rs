@@ -1,0 +1,350 @@
+//! Runtime-dispatched vectorized slice kernels.
+//!
+//! The repair hot loop is `partial[j] ^= a_i * B_i[j]` over whole slices.
+//! A scalar 64 KiB table lookup moves about one byte per load; the ISA-L
+//! technique instead splits each coefficient's 256-entry product table into
+//! two 16-entry nibble tables (`tables::MUL_LO` / `tables::MUL_HI`) that
+//! fit a vector register, so a single byte
+//! shuffle (`pshufb` on x86, `vtbl` on aarch64) computes 16–32 products per
+//! instruction.
+//!
+//! The kernel path is selected once per process, on first use:
+//!
+//! | ISA      | path                         | selected when                |
+//! |----------|------------------------------|------------------------------|
+//! | x86/-64  | [`KernelPath::Avx2`]         | `avx2` detected at runtime   |
+//! | x86/-64  | [`KernelPath::Ssse3`]        | `ssse3` detected, no AVX2    |
+//! | aarch64  | [`KernelPath::Neon`]         | always (NEON is baseline)    |
+//! | any      | [`KernelPath::Scalar`]       | fallback and proptest oracle |
+//!
+//! Set `ECPIPE_GF_FORCE=scalar|ssse3|avx2|neon` to pin a specific path —
+//! forcing a path the host cannot run (or an unknown name) panics on first
+//! kernel use rather than silently falling back, so a CI matrix never
+//! believes it tested a path it did not. Tests can instead address every
+//! supported path directly through [`Kernels::for_path`].
+//!
+//! All `unsafe` in this crate lives in the per-ISA submodules of this
+//! module (`simd/x86.rs`, `simd/neon.rs`); `cargo run -p xtask -- lint`
+//! rejects `unsafe` anywhere else in the workspace and requires a
+//! `// SAFETY:` comment on every block here.
+
+use std::sync::OnceLock;
+
+use crate::Gf256;
+
+#[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+mod x86;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+
+mod scalar;
+
+/// Which vectorized implementation backs the slice kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum KernelPath {
+    /// Portable table-lookup loops; always available, and the oracle the
+    /// SIMD paths are proptested against.
+    Scalar,
+    /// 128-bit `pshufb` split-table kernels (x86/x86_64 with SSSE3).
+    Ssse3,
+    /// 256-bit `vpshufb` split-table kernels (x86/x86_64 with AVX2).
+    Avx2,
+    /// 128-bit `vtbl` split-table kernels (aarch64; NEON is baseline there).
+    Neon,
+}
+
+impl KernelPath {
+    /// The lower-case name used by `ECPIPE_GF_FORCE` and in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Ssse3 => "ssse3",
+            KernelPath::Avx2 => "avx2",
+            KernelPath::Neon => "neon",
+        }
+    }
+
+    /// Parses an `ECPIPE_GF_FORCE` value.
+    pub fn parse(name: &str) -> Option<KernelPath> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelPath::Scalar),
+            "ssse3" => Some(KernelPath::Ssse3),
+            "avx2" => Some(KernelPath::Avx2),
+            "neon" => Some(KernelPath::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this host can execute the path.
+    pub fn supported(&self) -> bool {
+        match self {
+            KernelPath::Scalar => true,
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            KernelPath::Ssse3 => std::arch::is_x86_feature_detected!("ssse3"),
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            KernelPath::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            KernelPath::Neon => true,
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// Every path this host can execute, fastest first.
+    pub fn supported_paths() -> Vec<KernelPath> {
+        [
+            KernelPath::Avx2,
+            KernelPath::Ssse3,
+            KernelPath::Neon,
+            KernelPath::Scalar,
+        ]
+        .into_iter()
+        .filter(KernelPath::supported)
+        .collect()
+    }
+}
+
+impl std::fmt::Display for KernelPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad(self.name())
+    }
+}
+
+/// One implementation of the four slice kernels.
+///
+/// The bulk entry points ([`crate::mul_slice`] and friends) delegate to
+/// [`Kernels::active`]; tests address a specific path through
+/// [`Kernels::for_path`] regardless of what the process-wide selection
+/// picked.
+pub struct Kernels {
+    path: KernelPath,
+    // The raw per-path loops. Coefficient fast paths (0 and 1) and length
+    // checks are handled once in the wrapper methods below, so the loops
+    // only ever see a general coefficient.
+    mul: fn(u8, &[u8], &mut [u8]),
+    mul_add: fn(u8, &[u8], &mut [u8]),
+    add: fn(&[u8], &mut [u8]),
+}
+
+static SCALAR: Kernels = Kernels {
+    path: KernelPath::Scalar,
+    mul: scalar::mul,
+    mul_add: scalar::mul_add,
+    add: scalar::add,
+};
+
+static ACTIVE: OnceLock<&'static Kernels> = OnceLock::new();
+
+impl Kernels {
+    /// The process-wide kernel selection: the best supported path, or the
+    /// one `ECPIPE_GF_FORCE` pins. Selected once, on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ECPIPE_GF_FORCE` names an unknown kernel or one this host
+    /// cannot execute — an explicit override must never silently fall back.
+    pub fn active() -> &'static Kernels {
+        ACTIVE.get_or_init(|| {
+            let path = match std::env::var("ECPIPE_GF_FORCE") {
+                Ok(value) if !value.is_empty() => {
+                    let path = KernelPath::parse(&value).unwrap_or_else(|| {
+                        panic!(
+                            "ECPIPE_GF_FORCE={value:?} names no kernel \
+                             (expected scalar|ssse3|avx2|neon)"
+                        )
+                    });
+                    assert!(
+                        path.supported(),
+                        "ECPIPE_GF_FORCE={} but this host cannot execute that path \
+                         (supported: {})",
+                        path.name(),
+                        KernelPath::supported_paths()
+                            .iter()
+                            .map(KernelPath::name)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    path
+                }
+                _ => *KernelPath::supported_paths()
+                    .first()
+                    .expect("scalar is always supported"),
+            };
+            Kernels::for_path(path).expect("selection checked support")
+        })
+    }
+
+    /// The kernels for one specific path, if this host supports it. The
+    /// scalar path is always available.
+    pub fn for_path(path: KernelPath) -> Option<&'static Kernels> {
+        if !path.supported() {
+            return None;
+        }
+        match path {
+            KernelPath::Scalar => Some(&SCALAR),
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            KernelPath::Ssse3 => Some(&x86::SSSE3),
+            #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+            KernelPath::Avx2 => Some(&x86::AVX2),
+            #[cfg(target_arch = "aarch64")]
+            KernelPath::Neon => Some(&neon::NEON),
+            #[allow(unreachable_patterns)]
+            _ => None,
+        }
+    }
+
+    /// Which path these kernels implement.
+    pub fn path(&self) -> KernelPath {
+        self.path
+    }
+
+    /// `dst[j] = coeff * src[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` and `src` have different lengths.
+    pub fn mul_slice(&self, coeff: Gf256, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(
+            src.len(),
+            dst.len(),
+            "mul_slice: src and dst must have equal length"
+        );
+        if coeff.is_zero() {
+            dst.fill(0);
+        } else if coeff == Gf256::ONE {
+            dst.copy_from_slice(src);
+        } else {
+            (self.mul)(coeff.value(), src, dst);
+        }
+    }
+
+    /// `dst[j] ^= coeff * src[j]` (multiply-accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` and `src` have different lengths.
+    pub fn mul_add_slice(&self, coeff: Gf256, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(
+            src.len(),
+            dst.len(),
+            "mul_add_slice: src and dst must have equal length"
+        );
+        if coeff.is_zero() {
+            return;
+        }
+        if coeff == Gf256::ONE {
+            (self.add)(src, dst);
+        } else {
+            (self.mul_add)(coeff.value(), src, dst);
+        }
+    }
+
+    /// `dst[j] ^= src[j]` (plain XOR accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` and `src` have different lengths.
+    pub fn add_slice(&self, src: &[u8], dst: &mut [u8]) {
+        assert_eq!(
+            src.len(),
+            dst.len(),
+            "add_slice: src and dst must have equal length"
+        );
+        (self.add)(src, dst);
+    }
+
+    /// `data[j] = coeff * data[j]` in place.
+    pub fn scale_slice_in_place(&self, coeff: Gf256, data: &mut [u8]) {
+        if coeff == Gf256::ONE {
+            return;
+        }
+        if coeff.is_zero() {
+            data.fill(0);
+            return;
+        }
+        // The `mul` loops take distinct src/dst slices, which an in-place
+        // scale cannot provide without aliasing. Rather than duplicating
+        // every vector loop in an in-place variant, stage through a small
+        // stack buffer: it stays in L1 and the vector kernels are shared.
+        let mut tmp = [0u8; 1024];
+        let mut offset = 0;
+        while offset < data.len() {
+            let chunk = (data.len() - offset).min(tmp.len());
+            (self.mul)(
+                coeff.value(),
+                &data[offset..offset + chunk],
+                &mut tmp[..chunk],
+            );
+            data[offset..offset + chunk].copy_from_slice(&tmp[..chunk]);
+            offset += chunk;
+        }
+    }
+}
+
+/// The path the process-wide selection resolved to (selecting it now if
+/// this is the first kernel use).
+pub fn active_path() -> KernelPath {
+    Kernels::active().path()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_is_always_supported_and_first_fallback() {
+        assert!(KernelPath::Scalar.supported());
+        let paths = KernelPath::supported_paths();
+        assert_eq!(paths.last(), Some(&KernelPath::Scalar));
+        // Every supported path resolves to kernels reporting that path.
+        for path in paths {
+            assert_eq!(Kernels::for_path(path).unwrap().path(), path);
+        }
+    }
+
+    #[test]
+    fn parse_accepts_known_names_case_insensitively() {
+        assert_eq!(KernelPath::parse("scalar"), Some(KernelPath::Scalar));
+        assert_eq!(KernelPath::parse(" AVX2 "), Some(KernelPath::Avx2));
+        assert_eq!(KernelPath::parse("Ssse3"), Some(KernelPath::Ssse3));
+        assert_eq!(KernelPath::parse("neon"), Some(KernelPath::Neon));
+        assert_eq!(KernelPath::parse("sse9"), None);
+        for path in KernelPath::supported_paths() {
+            assert_eq!(KernelPath::parse(path.name()), Some(path));
+        }
+    }
+
+    #[test]
+    fn unsupported_paths_yield_no_kernels() {
+        #[cfg(any(target_arch = "x86", target_arch = "x86_64"))]
+        assert!(Kernels::for_path(KernelPath::Neon).is_none());
+        #[cfg(target_arch = "aarch64")]
+        assert!(Kernels::for_path(KernelPath::Avx2).is_none());
+    }
+
+    #[test]
+    fn active_selection_is_supported() {
+        let active = Kernels::active();
+        assert!(active.path().supported());
+        // The selection is sticky: a second call returns the same kernels.
+        assert!(std::ptr::eq(active, Kernels::active()));
+    }
+
+    #[test]
+    fn scale_matches_mul_on_every_path() {
+        for path in KernelPath::supported_paths() {
+            let kernels = Kernels::for_path(path).unwrap();
+            // Cross the 1 KiB staging buffer inside scale_slice_in_place.
+            let data: Vec<u8> = (0..5000).map(|i| (i % 251) as u8).collect();
+            for coeff in [0u8, 1, 2, 0x1d, 0xfe] {
+                let mut scaled = data.clone();
+                kernels.scale_slice_in_place(Gf256::new(coeff), &mut scaled);
+                let mut expected = vec![0u8; data.len()];
+                kernels.mul_slice(Gf256::new(coeff), &data, &mut expected);
+                assert_eq!(scaled, expected, "path {path} coeff {coeff}");
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Portable table-lookup loops.
+//!
+//! These are the fallback on hosts with no supported vector ISA and the
+//! oracle every SIMD path is proptested against. The callers (the wrapper
+//! methods on [`super::Kernels`]) have already peeled off the 0 and 1
+//! coefficient fast paths, so `coeff` here is always a general element.
+
+use crate::tables::mul_table;
+
+pub(super) fn mul(coeff: u8, src: &[u8], dst: &mut [u8]) {
+    let row = &mul_table()[coeff as usize];
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = row[*s as usize];
+    }
+}
+
+pub(super) fn mul_add(coeff: u8, src: &[u8], dst: &mut [u8]) {
+    let row = &mul_table()[coeff as usize];
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= row[*s as usize];
+    }
+}
+
+pub(super) fn add(src: &[u8], dst: &mut [u8]) {
+    // XOR eight bytes at a time through safe to/from_ne_bytes round trips;
+    // the tail falls back to byte-at-a-time.
+    let mut d_words = dst.chunks_exact_mut(8);
+    let mut s_words = src.chunks_exact(8);
+    for (d, s) in (&mut d_words).zip(&mut s_words) {
+        let x = u64::from_ne_bytes(d.try_into().expect("8-byte chunk"))
+            ^ u64::from_ne_bytes(s.try_into().expect("8-byte chunk"));
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+    for (d, s) in d_words
+        .into_remainder()
+        .iter_mut()
+        .zip(s_words.remainder().iter())
+    {
+        *d ^= *s;
+    }
+}

@@ -1,0 +1,238 @@
+//! SSSE3 and AVX2 split-table kernels for x86 / x86_64.
+//!
+//! Both paths implement the same ISA-L scheme: the coefficient's 16-entry
+//! low- and high-nibble product tables ([`crate::tables::MUL_LO`] /
+//! [`crate::tables::MUL_HI`]) are loaded into vector registers once per
+//! call, then each iteration computes 16 (SSSE3) or 32 (AVX2) products with
+//! two byte shuffles and a XOR:
+//!
+//! ```text
+//! prod = shuffle(lo_tbl, src & 0x0f) ^ shuffle(hi_tbl, (src >> 4) & 0x0f)
+//! ```
+//!
+//! The safe wrappers split the input at the last full vector and hand the
+//! remainder to the scalar loops, so the vector bodies only ever see
+//! whole-lane lengths. This module is the designated home for `unsafe` in
+//! this crate (with `simd/neon.rs`); the workspace lint enforces that and
+//! the `// SAFETY:` comments below.
+
+#![allow(unsafe_code)]
+
+#[cfg(target_arch = "x86")]
+use core::arch::x86::*;
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+use super::{scalar, KernelPath, Kernels};
+use crate::tables::{MUL_HI, MUL_LO};
+
+pub(super) static SSSE3: Kernels = Kernels {
+    path: KernelPath::Ssse3,
+    mul: mul_ssse3,
+    mul_add: mul_add_ssse3,
+    add: add_ssse3,
+};
+
+pub(super) static AVX2: Kernels = Kernels {
+    path: KernelPath::Avx2,
+    mul: mul_avx2,
+    mul_add: mul_add_avx2,
+    add: add_avx2,
+};
+
+// ---------------------------------------------------------------- SSSE3 --
+
+fn mul_ssse3(coeff: u8, src: &[u8], dst: &mut [u8]) {
+    let split = src.len() - src.len() % 16;
+    // SAFETY: these kernels are only reachable through `Kernels::for_path`,
+    // which returns the SSSE3 table solely when `is_x86_feature_detected!
+    // ("ssse3")` holds, so the target-feature contract is met.
+    unsafe { mul_ssse3_body(coeff, &src[..split], &mut dst[..split]) };
+    scalar::mul(coeff, &src[split..], &mut dst[split..]);
+}
+
+fn mul_add_ssse3(coeff: u8, src: &[u8], dst: &mut [u8]) {
+    let split = src.len() - src.len() % 16;
+    // SAFETY: reachable only when runtime detection confirmed SSSE3 (see
+    // `Kernels::for_path`).
+    unsafe { mul_add_ssse3_body(coeff, &src[..split], &mut dst[..split]) };
+    scalar::mul_add(coeff, &src[split..], &mut dst[split..]);
+}
+
+fn add_ssse3(src: &[u8], dst: &mut [u8]) {
+    let split = src.len() - src.len() % 16;
+    // SAFETY: reachable only when runtime detection confirmed SSSE3, which
+    // implies the SSE2 loads/stores used by the body.
+    unsafe { add_sse2_body(&src[..split], &mut dst[..split]) };
+    scalar::add(&src[split..], &mut dst[split..]);
+}
+
+/// 16-products-per-iteration multiply. `src.len()` must be a multiple of 16
+/// and equal `dst.len()`; caller must have verified SSSE3 support.
+// SAFETY: every load/store below is `loadu`/`storeu` (no alignment
+// requirement) over `i < len` offsets with `len % 16 == 0`, so all 16-byte
+// accesses stay in bounds; the table rows are `[u8; 16]` so the table loads
+// are exactly in bounds too.
+#[target_feature(enable = "ssse3")]
+unsafe fn mul_ssse3_body(coeff: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len() % 16, 0);
+    debug_assert_eq!(src.len(), dst.len());
+    let lo_tbl = _mm_loadu_si128(MUL_LO[coeff as usize].as_ptr().cast());
+    let hi_tbl = _mm_loadu_si128(MUL_HI[coeff as usize].as_ptr().cast());
+    let mask = _mm_set1_epi8(0x0f);
+    let mut i = 0;
+    while i < src.len() {
+        let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+        let lo_n = _mm_and_si128(s, mask);
+        let hi_n = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
+        let prod = _mm_xor_si128(
+            _mm_shuffle_epi8(lo_tbl, lo_n),
+            _mm_shuffle_epi8(hi_tbl, hi_n),
+        );
+        _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), prod);
+        i += 16;
+    }
+}
+
+/// 16-products-per-iteration multiply-accumulate; same contract as
+/// [`mul_ssse3_body`].
+// SAFETY: same bounds argument as `mul_ssse3_body` — unaligned 16-byte
+// accesses at offsets `< len` with `len % 16 == 0`.
+#[target_feature(enable = "ssse3")]
+unsafe fn mul_add_ssse3_body(coeff: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len() % 16, 0);
+    debug_assert_eq!(src.len(), dst.len());
+    let lo_tbl = _mm_loadu_si128(MUL_LO[coeff as usize].as_ptr().cast());
+    let hi_tbl = _mm_loadu_si128(MUL_HI[coeff as usize].as_ptr().cast());
+    let mask = _mm_set1_epi8(0x0f);
+    let mut i = 0;
+    while i < src.len() {
+        let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+        let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+        let lo_n = _mm_and_si128(s, mask);
+        let hi_n = _mm_and_si128(_mm_srli_epi64::<4>(s), mask);
+        let prod = _mm_xor_si128(
+            _mm_shuffle_epi8(lo_tbl, lo_n),
+            _mm_shuffle_epi8(hi_tbl, hi_n),
+        );
+        _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_xor_si128(d, prod));
+        i += 16;
+    }
+}
+
+/// 16-bytes-per-iteration XOR; same length contract as [`mul_ssse3_body`].
+// SAFETY: unaligned 16-byte accesses at offsets `< len` with
+// `len % 16 == 0`; only SSE2 instructions are used.
+#[target_feature(enable = "sse2")]
+unsafe fn add_sse2_body(src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len() % 16, 0);
+    debug_assert_eq!(src.len(), dst.len());
+    let mut i = 0;
+    while i < src.len() {
+        let s = _mm_loadu_si128(src.as_ptr().add(i).cast());
+        let d = _mm_loadu_si128(dst.as_ptr().add(i).cast());
+        _mm_storeu_si128(dst.as_mut_ptr().add(i).cast(), _mm_xor_si128(d, s));
+        i += 16;
+    }
+}
+
+// ----------------------------------------------------------------- AVX2 --
+
+fn mul_avx2(coeff: u8, src: &[u8], dst: &mut [u8]) {
+    let split = src.len() - src.len() % 32;
+    // SAFETY: reachable only when runtime detection confirmed AVX2 (see
+    // `Kernels::for_path`).
+    unsafe { mul_avx2_body(coeff, &src[..split], &mut dst[..split]) };
+    scalar::mul(coeff, &src[split..], &mut dst[split..]);
+}
+
+fn mul_add_avx2(coeff: u8, src: &[u8], dst: &mut [u8]) {
+    let split = src.len() - src.len() % 32;
+    // SAFETY: reachable only when runtime detection confirmed AVX2 (see
+    // `Kernels::for_path`).
+    unsafe { mul_add_avx2_body(coeff, &src[..split], &mut dst[..split]) };
+    scalar::mul_add(coeff, &src[split..], &mut dst[split..]);
+}
+
+fn add_avx2(src: &[u8], dst: &mut [u8]) {
+    let split = src.len() - src.len() % 32;
+    // SAFETY: reachable only when runtime detection confirmed AVX2 (see
+    // `Kernels::for_path`).
+    unsafe { add_avx2_body(&src[..split], &mut dst[..split]) };
+    scalar::add(&src[split..], &mut dst[split..]);
+}
+
+/// 32-products-per-iteration multiply. `src.len()` must be a multiple of 32
+/// and equal `dst.len()`; caller must have verified AVX2 support.
+///
+/// `vpshufb` shuffles within each 128-bit lane, so broadcasting the same
+/// 16-entry table to both lanes makes the 256-bit shuffle behave as two
+/// independent copies of the SSSE3 lookup.
+// SAFETY: unaligned 32-byte accesses (`loadu`/`storeu`) at offsets `< len`
+// with `len % 32 == 0` stay in bounds; table rows are `[u8; 16]`, matching
+// the 128-bit broadcast loads exactly.
+#[target_feature(enable = "avx2")]
+unsafe fn mul_avx2_body(coeff: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len() % 32, 0);
+    debug_assert_eq!(src.len(), dst.len());
+    let lo_tbl =
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_LO[coeff as usize].as_ptr().cast()));
+    let hi_tbl =
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_HI[coeff as usize].as_ptr().cast()));
+    let mask = _mm256_set1_epi8(0x0f);
+    let mut i = 0;
+    while i < src.len() {
+        let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+        let lo_n = _mm256_and_si256(s, mask);
+        let hi_n = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+        let prod = _mm256_xor_si256(
+            _mm256_shuffle_epi8(lo_tbl, lo_n),
+            _mm256_shuffle_epi8(hi_tbl, hi_n),
+        );
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), prod);
+        i += 32;
+    }
+}
+
+/// 32-products-per-iteration multiply-accumulate; same contract as
+/// [`mul_avx2_body`].
+// SAFETY: same bounds argument as `mul_avx2_body`.
+#[target_feature(enable = "avx2")]
+unsafe fn mul_add_avx2_body(coeff: u8, src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len() % 32, 0);
+    debug_assert_eq!(src.len(), dst.len());
+    let lo_tbl =
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_LO[coeff as usize].as_ptr().cast()));
+    let hi_tbl =
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(MUL_HI[coeff as usize].as_ptr().cast()));
+    let mask = _mm256_set1_epi8(0x0f);
+    let mut i = 0;
+    while i < src.len() {
+        let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+        let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+        let lo_n = _mm256_and_si256(s, mask);
+        let hi_n = _mm256_and_si256(_mm256_srli_epi64::<4>(s), mask);
+        let prod = _mm256_xor_si256(
+            _mm256_shuffle_epi8(lo_tbl, lo_n),
+            _mm256_shuffle_epi8(hi_tbl, hi_n),
+        );
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, prod));
+        i += 32;
+    }
+}
+
+/// 32-bytes-per-iteration XOR; same contract as [`mul_avx2_body`].
+// SAFETY: unaligned 32-byte accesses at offsets `< len` with
+// `len % 32 == 0`.
+#[target_feature(enable = "avx2")]
+unsafe fn add_avx2_body(src: &[u8], dst: &mut [u8]) {
+    debug_assert_eq!(src.len() % 32, 0);
+    debug_assert_eq!(src.len(), dst.len());
+    let mut i = 0;
+    while i < src.len() {
+        let s = _mm256_loadu_si256(src.as_ptr().add(i).cast());
+        let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast());
+        _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast(), _mm256_xor_si256(d, s));
+        i += 32;
+    }
+}

@@ -43,6 +43,33 @@ const fn generate_log() -> [u8; 256] {
     table
 }
 
+/// Split low-nibble multiplication tables: `MUL_LO[c][x] = c * x` for
+/// `x < 16`. Together with [`MUL_HI`] this is the ISA-L decomposition
+/// `c * b = MUL_LO[c][b & 0xf] ^ MUL_HI[c][b >> 4]`, which is exactly the
+/// shape a 16-entry byte-shuffle instruction (`pshufb` / `vtbl`) can look up
+/// sixteen (or thirty-two) bytes at a time. The SIMD kernels load one row of
+/// each table into a vector register per coefficient.
+pub const MUL_LO: [[u8; 16]; 256] = generate_nibble_table(false);
+
+/// Split high-nibble multiplication tables: `MUL_HI[c][x] = c * (x << 4)`
+/// for `x < 16`. See [`MUL_LO`].
+pub const MUL_HI: [[u8; 16]; 256] = generate_nibble_table(true);
+
+const fn generate_nibble_table(high: bool) -> [[u8; 16]; 256] {
+    let mut table = [[0u8; 16]; 256];
+    let mut c = 0;
+    while c < 256 {
+        let mut x = 0;
+        while x < 16 {
+            let operand = if high { (x as u8) << 4 } else { x as u8 };
+            table[c][x] = raw_mul(c as u8, operand);
+            x += 1;
+        }
+        c += 1;
+    }
+    table
+}
+
 /// Full 256x256 multiplication table. Looked up by the bulk kernels so the
 /// per-byte inner loop is a single indexed load.
 pub fn mul_table() -> &'static [[u8; 256]; 256] {
@@ -119,6 +146,19 @@ mod tests {
         for a in 0..=255u8 {
             for b in 0..=255u8 {
                 assert_eq!(t[a as usize][b as usize], raw_mul(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn nibble_tables_decompose_raw_mul() {
+        for c in 0..=255u8 {
+            for b in 0..=255u8 {
+                assert_eq!(
+                    MUL_LO[c as usize][(b & 0x0f) as usize] ^ MUL_HI[c as usize][(b >> 4) as usize],
+                    raw_mul(c, b),
+                    "c={c} b={b}"
+                );
             }
         }
     }

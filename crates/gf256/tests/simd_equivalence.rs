@@ -1,0 +1,156 @@
+//! Every supported kernel path must agree with the scalar oracle.
+//!
+//! The scalar loops are validated against the `Gf256` field arithmetic by
+//! the in-crate proptests; here each vectorized path is held to the scalar
+//! result across the shapes that historically break SIMD ports: unaligned
+//! base pointers, lengths that straddle the vector width (full lanes plus a
+//! scalar tail), empty slices, and all 256 coefficients including the 0 and
+//! 1 fast paths.
+
+use gf256::{Gf256, KernelPath, Kernels};
+use proptest::prelude::*;
+
+/// The widest vector width any path uses (AVX2: 32 bytes).
+const MAX_LANE: usize = 32;
+
+/// Slice lengths that straddle every lane width: 0..=3×32 covers 0–3 full
+/// vectors for AVX2 and 0–6 for the 16-byte paths, each ±1 around the
+/// boundaries via the dense sweep below.
+const LENGTHS: std::ops::RangeInclusive<usize> = 0..=3 * MAX_LANE;
+
+/// Misalignments to apply to the slice base pointers.
+const OFFSETS: [usize; 5] = [0, 1, 7, 13, 15];
+
+fn scalar() -> &'static Kernels {
+    Kernels::for_path(KernelPath::Scalar).expect("scalar is always supported")
+}
+
+/// Every path the host supports except scalar itself (which would compare
+/// the oracle against itself).
+fn simd_paths() -> Vec<&'static Kernels> {
+    KernelPath::supported_paths()
+        .into_iter()
+        .filter(|p| *p != KernelPath::Scalar)
+        .map(|p| Kernels::for_path(p).expect("listed as supported"))
+        .collect()
+}
+
+/// Deterministic byte pattern that hits every value and doesn't repeat with
+/// period 16 or 32 (251 is prime), so lane mix-ups change the result.
+fn pattern(len: usize, salt: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i * 37 + salt) % 251) as u8).collect()
+}
+
+/// Runs `op` on misaligned copies of src/dst for one path and the scalar
+/// oracle and asserts identical results.
+fn check_op(
+    kernels: &Kernels,
+    coeff: u8,
+    len: usize,
+    offset: usize,
+    op: fn(&Kernels, Gf256, &[u8], &mut [u8]),
+) {
+    // Pad the front so `&buf[offset..]` exercises a misaligned base.
+    let src_buf = pattern(offset + len, 3);
+    let dst_init = pattern(offset + len, 101);
+
+    let mut got = dst_init.clone();
+    op(
+        kernels,
+        Gf256::new(coeff),
+        &src_buf[offset..],
+        &mut got[offset..],
+    );
+
+    let mut expected = dst_init.clone();
+    op(
+        scalar(),
+        Gf256::new(coeff),
+        &src_buf[offset..],
+        &mut expected[offset..],
+    );
+
+    assert_eq!(
+        got,
+        expected,
+        "path={} coeff={coeff} len={len} offset={offset}",
+        kernels.path()
+    );
+    // The pad bytes in front of the slice must be untouched.
+    assert_eq!(&got[..offset], &dst_init[..offset]);
+}
+
+fn mul(k: &Kernels, c: Gf256, s: &[u8], d: &mut [u8]) {
+    k.mul_slice(c, s, d);
+}
+
+fn mul_add(k: &Kernels, c: Gf256, s: &[u8], d: &mut [u8]) {
+    k.mul_add_slice(c, s, d);
+}
+
+fn add(k: &Kernels, _c: Gf256, s: &[u8], d: &mut [u8]) {
+    k.add_slice(s, d);
+}
+
+fn scale(k: &Kernels, c: Gf256, s: &[u8], d: &mut [u8]) {
+    d.copy_from_slice(s);
+    k.scale_slice_in_place(c, d);
+}
+
+#[test]
+fn all_coefficients_at_boundary_lengths() {
+    // Dense around every multiple of 16 and 32 up to 3×32, sparse offsets.
+    let lengths: Vec<usize> = LENGTHS
+        .filter(|l| l % 16 == 0 || l % 16 == 1 || l % 16 == 15)
+        .collect();
+    for kernels in simd_paths() {
+        for coeff in 0..=255u8 {
+            for &len in &lengths {
+                for op in [mul, mul_add, add, scale] {
+                    check_op(kernels, coeff, len, coeff as usize % 4, op);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn every_length_in_the_three_vector_sweep() {
+    // All lengths 0..=96 at every listed misalignment, a few coefficients.
+    for kernels in simd_paths() {
+        for len in LENGTHS {
+            for &offset in &OFFSETS {
+                for coeff in [0u8, 1, 2, 0x1d, 0x8e, 0xff] {
+                    for op in [mul, mul_add, add, scale] {
+                        check_op(kernels, coeff, len, offset, op);
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_shapes_match_scalar(
+        coeff in any::<u8>(),
+        offset in 0usize..MAX_LANE,
+        src in proptest::collection::vec(any::<u8>(), 0..4 * MAX_LANE),
+        seed in any::<u8>(),
+    ) {
+        for kernels in simd_paths() {
+            let dst_init = vec![seed; src.len() + offset];
+            let src_buf: Vec<u8> = vec![0; offset]
+                .into_iter()
+                .chain(src.iter().copied())
+                .collect();
+            for op in [mul, mul_add, add, scale] {
+                let mut got = dst_init.clone();
+                op(kernels, Gf256::new(coeff), &src_buf[offset..], &mut got[offset..]);
+                let mut expected = dst_init.clone();
+                op(scalar(), Gf256::new(coeff), &src_buf[offset..], &mut expected[offset..]);
+                prop_assert_eq!(&got, &expected, "path={} coeff={}", kernels.path(), coeff);
+            }
+        }
+    }
+}

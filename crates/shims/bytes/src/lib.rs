@@ -2,58 +2,116 @@
 //!
 //! The build environment has no access to crates.io, so this workspace ships
 //! a tiny local implementation of the subset of the `bytes` API that the
-//! runtime uses: an immutable, cheaply cloneable byte buffer backed by an
-//! `Arc<[u8]>`. Swap this path dependency for the real crate when a registry
-//! is available; no call sites need to change.
+//! runtime uses: an immutable, cheaply cloneable byte buffer. Like the real
+//! crate, a `Bytes` is a reference-counted view (owner + offset + length),
+//! so [`Bytes::clone`], [`Bytes::slice`] and [`From<Vec<u8>>`] share one
+//! allocation instead of copying. Swap this path dependency for the real
+//! crate when a registry is available; the only shim-specific surface is
+//! [`shim_metrics`], which exists so tests can pin that hot paths stay
+//! zero-copy.
 
 #![forbid(unsafe_code)]
 
 use std::borrow::Borrow;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::Deref;
 use std::sync::Arc;
 
+/// Copy instrumentation for the shim, used by zero-copy regression tests.
+pub mod shim_metrics {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static DEEP_COPY_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// Total bytes deep-copied by [`crate::Bytes::copy_from_slice`] and
+    /// [`crate::Bytes::to_vec`] since process start. Slicing, cloning and
+    /// `From<Vec<u8>>` never contribute — they share the allocation. Tests
+    /// snapshot this before and after a flow to assert it stayed
+    /// zero-copy; the counter is monotonic, so concurrent tests only ever
+    /// inflate deltas (a zero delta is trustworthy).
+    pub fn deep_copy_bytes() -> u64 {
+        DEEP_COPY_BYTES.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_copy(len: usize) {
+        DEEP_COPY_BYTES.fetch_add(len as u64, Ordering::Relaxed);
+    }
+}
+
 /// A cheaply cloneable, immutable contiguous slice of memory.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    /// The owning allocation; `start`/`len` select this view's window.
+    owner: Arc<dyn AsRef<[u8]> + Send + Sync>,
+    start: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// Creates a new empty `Bytes`.
     pub fn new() -> Self {
-        Bytes {
-            data: Arc::from(&[][..]),
-        }
+        Bytes::from_static(&[])
     }
 
-    /// Creates `Bytes` from a static slice (allocates here, unlike the real
-    /// crate, which is zero-copy; the semantics are identical).
+    /// Creates `Bytes` from a static slice without copying.
     pub fn from_static(bytes: &'static [u8]) -> Self {
         Bytes {
-            data: Arc::from(bytes),
+            len: bytes.len(),
+            owner: Arc::new(bytes),
+            start: 0,
         }
     }
 
-    /// Copies `data` into a new `Bytes`.
-    pub fn copy_from_slice(data: &[u8]) -> Self {
+    /// Wraps any owned byte container without copying; the `Bytes` (and
+    /// every clone/slice of it) keeps `owner` alive and drops it with the
+    /// last reference. This is how pooled buffers re-enter their pool: the
+    /// owner's `Drop` runs when the final view goes away.
+    pub fn from_owner<T>(owner: T) -> Self
+    where
+        T: AsRef<[u8]> + Send + Sync + 'static,
+    {
+        let len = owner.as_ref().len();
         Bytes {
-            data: Arc::from(data),
+            owner: Arc::new(owner),
+            start: 0,
+            len,
+        }
+    }
+
+    /// Copies `data` into a new `Bytes`. This is the deliberate deep-copy
+    /// entry point (counted by [`shim_metrics`]); prefer `From<Vec<u8>>` or
+    /// [`Bytes::from_owner`] when the caller already owns the bytes.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        shim_metrics::record_copy(data.len());
+        Bytes::from_vec(data.to_vec())
+    }
+
+    fn from_vec(v: Vec<u8>) -> Self {
+        let len = v.len();
+        Bytes {
+            owner: Arc::new(v),
+            start: 0,
+            len,
         }
     }
 
     /// Number of bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Returns a slice of self for the provided range (allocates a new
-    /// buffer; the real crate shares the allocation).
+    /// Returns a view of self for the provided range, sharing the backing
+    /// allocation with self (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or inverted.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -64,14 +122,28 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.data.len(),
+            Bound::Unbounded => self.len,
         };
-        Bytes::copy_from_slice(&self.data[start..end])
+        assert!(
+            start <= end && end <= self.len,
+            "slice out of bounds: {start}..{end} of {}",
+            self.len
+        );
+        Bytes {
+            owner: Arc::clone(&self.owner),
+            start: self.start + start,
+            len: end - start,
+        }
     }
 
-    /// Copies the contents into a `Vec<u8>`.
+    /// Copies the contents into a `Vec<u8>` (counted by [`shim_metrics`]).
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        shim_metrics::record_copy(self.len);
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &(*self.owner).as_ref()[self.start..self.start + self.len]
     }
 }
 
@@ -85,31 +157,31 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::from_vec(v)
     }
 }
 
 impl From<Box<[u8]>> for Bytes {
     fn from(v: Box<[u8]>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::from_vec(v.into_vec())
     }
 }
 
@@ -127,38 +199,68 @@ impl From<&'static str> for Bytes {
 
 impl FromIterator<u8> for Bytes {
     fn from_iter<T: IntoIterator<Item = u8>>(iter: T) -> Self {
-        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+        Bytes::from_vec(iter.into_iter().collect())
+    }
+}
+
+// Equality, ordering and hashing are all over the viewed contents, so two
+// views of different allocations with equal bytes compare equal and hash
+// identically (matching the `Borrow<[u8]>` contract).
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data.as_ref() == other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data.as_ref() == other.as_slice()
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self.as_slice() == other.data.as_ref()
+        self.as_slice() == other.as_slice()
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.data.as_ref() == *other
+        self.as_slice() == *other
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             if (0x20..0x7f).contains(&b) && b != b'"' && b != b'\\' {
                 write!(f, "{}", b as char)?;
             } else {
@@ -189,5 +291,89 @@ mod tests {
     fn empty() {
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::default().len(), 0);
+    }
+
+    #[test]
+    fn slice_shares_the_allocation() {
+        let before = shim_metrics::deep_copy_bytes();
+        let b = Bytes::from(vec![7u8; 4096]);
+        let s = b.slice(100..200);
+        let s2 = s.slice(10..20);
+        let c = s2.clone();
+        assert_eq!(c.len(), 10);
+        assert_eq!(&c[..], &[7u8; 10][..]);
+        assert_eq!(
+            shim_metrics::deep_copy_bytes(),
+            before,
+            "slice/clone/from-vec must not deep-copy"
+        );
+    }
+
+    #[test]
+    fn nested_slices_index_from_the_view_start() {
+        let b = Bytes::from((0u8..100).collect::<Vec<u8>>());
+        let s = b.slice(10..50);
+        assert_eq!(s[0], 10);
+        let s2 = s.slice(5..=6);
+        assert_eq!(&s2[..], &[15, 16]);
+        assert_eq!(b.slice(..).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of bounds")]
+    fn slice_past_the_view_panics() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let _ = b.slice(1..5);
+    }
+
+    #[test]
+    fn from_owner_drops_with_the_last_view() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        struct Owner(Vec<u8>, Arc<AtomicBool>);
+        impl AsRef<[u8]> for Owner {
+            fn as_ref(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Owner {
+            fn drop(&mut self) {
+                self.1.store(true, Ordering::SeqCst);
+            }
+        }
+
+        let dropped = Arc::new(AtomicBool::new(false));
+        let b = Bytes::from_owner(Owner(vec![1, 2, 3], Arc::clone(&dropped)));
+        let s = b.slice(1..);
+        drop(b);
+        assert!(!dropped.load(Ordering::SeqCst), "view still alive");
+        assert_eq!(&s[..], &[2, 3]);
+        drop(s);
+        assert!(dropped.load(Ordering::SeqCst), "last view drops the owner");
+    }
+
+    #[test]
+    fn copies_are_counted() {
+        let before = shim_metrics::deep_copy_bytes();
+        let b = Bytes::copy_from_slice(&[0u8; 100]);
+        let _v = b.to_vec();
+        assert_eq!(shim_metrics::deep_copy_bytes() - before, 200);
+    }
+
+    #[test]
+    fn content_equality_across_allocations() {
+        use std::collections::hash_map::DefaultHasher;
+        let a = Bytes::from(vec![1u8, 2, 3]);
+        let b = Bytes::from(vec![0u8, 1, 2, 3]).slice(1..);
+        assert_eq!(a, b);
+        let hash = |x: &Bytes| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        let c = Bytes::from(vec![1u8, 2, 4]);
+        assert!(a < c);
     }
 }

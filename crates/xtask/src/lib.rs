@@ -20,6 +20,11 @@
 //! * **lock-field-docs** — every struct field holding a `Mutex`/`RwLock`
 //!   must carry a `/// Lock class:` doc line naming its class, so the
 //!   hierarchy in `docs/ARCHITECTURE.md` stays discoverable from the code.
+//! * **unsafe-code** — no `unsafe` outside the designated gf256 SIMD
+//!   kernel modules (`crates/gf256/src/simd`), and inside them every
+//!   `unsafe` item or block must carry a `// SAFETY:` comment justifying
+//!   the invariant it relies on. The rest of the workspace stays safe
+//!   Rust; vectorized field arithmetic is the one sanctioned exception.
 //!
 //! A finding can be suppressed on its line (or the line above) with an
 //! inline marker carrying a reason:
@@ -40,6 +45,11 @@ use std::path::{Path, PathBuf};
 /// (whose sources and fixtures mention the forbidden patterns by name).
 const EXEMPT_DIRS: &[&str] = &["crates/sync", "crates/shims", "crates/xtask"];
 
+/// Directories (workspace-relative) where `unsafe` is sanctioned: the
+/// runtime-dispatched SIMD kernels, whose intrinsics have no safe wrappers.
+/// Files here still owe a `// SAFETY:` comment per `unsafe` occurrence.
+const UNSAFE_ALLOWED_DIRS: &[&str] = &["crates/gf256/src/simd"];
+
 /// Directory names never walked.
 const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
 
@@ -51,7 +61,7 @@ pub struct Finding {
     /// 1-based line number.
     pub line: usize,
     /// Rule identifier (`raw-sync`, `lock-unwrap`, `rank-collisions`,
-    /// `lock-field-docs`).
+    /// `lock-field-docs`, `unsafe-code`).
     pub rule: &'static str,
     /// Human-readable description.
     pub message: String,
@@ -164,6 +174,9 @@ fn lint_file(path: &Path, rel: &Path, text: &str, findings: &mut Vec<Finding>) {
     let lines: Vec<&str> = text.lines().collect();
     let test_file = is_test_path(rel);
     let in_test_mod = test_module_lines(&lines);
+    let unsafe_allowed = UNSAFE_ALLOWED_DIRS
+        .iter()
+        .any(|d| rel.starts_with(Path::new(d)));
 
     for (idx, raw_line) in lines.iter().enumerate() {
         let line = strip_line_comment(raw_line);
@@ -199,6 +212,34 @@ fn lint_file(path: &Path, rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                         ),
                     });
                 }
+            }
+        }
+
+        // unsafe-code: applies everywhere, tests included — the keyword is
+        // either confined to the sanctioned SIMD modules (where each use
+        // owes a `// SAFETY:` justification) or absent.
+        if unsafe_token(line) {
+            if unsafe_allowed {
+                if !has_safety_comment(&lines, idx) && !allowed(&lines, idx, "unsafe-code") {
+                    findings.push(Finding {
+                        path: path.to_path_buf(),
+                        line: lineno,
+                        rule: "unsafe-code",
+                        message: "`unsafe` without a `// SAFETY:` comment; state the \
+                                  invariant it relies on directly above the unsafe item"
+                            .to_string(),
+                    });
+                }
+            } else if !allowed(&lines, idx, "unsafe-code") {
+                findings.push(Finding {
+                    path: path.to_path_buf(),
+                    line: lineno,
+                    rule: "unsafe-code",
+                    message: "`unsafe` outside the designated SIMD kernel modules \
+                              (crates/gf256/src/simd); keep the workspace safe Rust \
+                              or move the kernel there"
+                        .to_string(),
+                });
             }
         }
 
@@ -328,6 +369,49 @@ fn lock_unwrap_use(line: &str) -> Option<&'static str> {
         return Some("`.unwrap()`/`.expect()` on a channel send");
     }
     None
+}
+
+/// True if the (comment-stripped) line contains the `unsafe` keyword as a
+/// standalone token. Word-boundary matching keeps attribute text like
+/// `deny(unsafe_code)` and lint names like `unsafe_op_in_unsafe_fn` from
+/// counting.
+fn unsafe_token(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("unsafe") {
+        let start = from + pos;
+        let end = start + "unsafe".len();
+        let boundary = |b: u8| !(b as char).is_alphanumeric() && b != b'_';
+        if (start == 0 || boundary(bytes[start - 1]))
+            && (end == bytes.len() || boundary(bytes[end]))
+        {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// True if the line carries (or is preceded by) a `// SAFETY:` comment. The
+/// scan walks up through contiguous comment and attribute lines, so the
+/// justification may sit above a `#[target_feature]`-decorated `unsafe fn`
+/// or span several comment lines.
+fn has_safety_comment(lines: &[&str], idx: usize) -> bool {
+    if lines[idx].contains("SAFETY:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if !(t.starts_with("//") || t.starts_with("#[")) {
+            return false;
+        }
+        if t.contains("SAFETY:") {
+            return true;
+        }
+    }
+    false
 }
 
 /// True for a struct-field line of lock type (4-space indent, `name: Type`).

@@ -191,6 +191,93 @@ fn documented_lock_field_is_clean() {
 }
 
 #[test]
+fn unsafe_outside_the_simd_modules_is_flagged() {
+    let fx = Fixture::new("unsafe-out");
+    fx.write(
+        "crates/core/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    );
+    // Tests are not exempt: the keyword is banned tree-wide.
+    fx.write(
+        "crates/core/tests/it.rs",
+        "fn g(p: *const u8) -> u8 { unsafe { *p } }\n",
+    );
+    let findings = fx.findings();
+    assert_eq!(
+        findings.iter().filter(|f| f.rule == "unsafe-code").count(),
+        2,
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn unsafe_in_the_simd_modules_needs_a_safety_comment() {
+    let fx = Fixture::new("unsafe-simd");
+    fx.write(
+        "crates/gf256/src/simd/x86.rs",
+        "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+    );
+    let findings = fx.findings();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.rule == "unsafe-code" && f.message.contains("SAFETY")),
+        "{findings:?}"
+    );
+}
+
+#[test]
+fn safety_commented_unsafe_in_the_simd_modules_is_clean() {
+    let fx = Fixture::new("unsafe-ok");
+    // Both shapes the kernels use: a comment directly above an `unsafe`
+    // block, and a comment above a `#[target_feature]`-decorated fn.
+    fx.write(
+        "crates/gf256/src/simd/x86.rs",
+        concat!(
+            "fn f(p: *const u8) -> u8 {\n",
+            "    // SAFETY: caller guarantees `p` is valid for reads.\n",
+            "    unsafe { *p }\n",
+            "}\n",
+            "\n",
+            "// SAFETY: only called after runtime feature detection.\n",
+            "#[target_feature(enable = \"avx2\")]\n",
+            "unsafe fn g() {}\n",
+        ),
+    );
+    assert!(fx.findings().is_empty(), "{:?}", fx.findings());
+}
+
+#[test]
+fn unsafe_mentions_in_comments_and_attributes_do_not_count() {
+    let fx = Fixture::new("unsafe-words");
+    fx.write(
+        "crates/core/src/lib.rs",
+        concat!(
+            "//! No `unsafe` lives here.\n",
+            "#![deny(unsafe_code)]\n",
+            "#![warn(unsafe_op_in_unsafe_fn)]\n",
+            "pub fn f() {} // not unsafe at all\n",
+        ),
+    );
+    assert!(fx.findings().is_empty(), "{:?}", fx.findings());
+}
+
+#[test]
+fn allow_marker_suppresses_an_unsafe_finding() {
+    let fx = Fixture::new("unsafe-allow");
+    fx.write(
+        "crates/core/src/lib.rs",
+        concat!(
+            "pub fn f(p: *const u8) -> u8 {\n",
+            "    // xtask:allow(unsafe-code): FFI boundary audited in review\n",
+            "    unsafe { *p }\n",
+            "}\n",
+        ),
+    );
+    assert!(fx.findings().is_empty(), "{:?}", fx.findings());
+}
+
+#[test]
 fn the_lint_binary_exits_nonzero_on_a_dirty_tree() {
     let fx = Fixture::new("binary");
     fx.write("src/lib.rs", "use std::sync::Mutex;\n");
