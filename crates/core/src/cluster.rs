@@ -195,6 +195,14 @@ impl Cluster {
         Ok(())
     }
 
+    /// Reinstates a stripe's placement without writing any blocks — used
+    /// when a durable metadata plane is reopened over stores whose blocks
+    /// already exist on disk. The blocks themselves are not checked here; a
+    /// missing one surfaces as a degraded read later.
+    pub(crate) fn restore_placement(&self, stripe: StripeId, placement: Vec<NodeId>) {
+        self.placements.write().insert(stripe, placement);
+    }
+
     /// Deletes every block of a stripe and drops its placement (e.g. when
     /// the object owning the stripe is deleted). Returns whether the stripe
     /// was known.

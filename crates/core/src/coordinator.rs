@@ -1,10 +1,18 @@
 //! The ECPipe coordinator.
 //!
-//! The coordinator (one per deployment, Figure 7) keeps the mapping from
-//! stripes to block locations, answers repair requests by selecting helpers
-//! and deriving the decoding coefficients, and implements the greedy
-//! least-recently-selected helper scheduling used during full-node recovery
-//! (§3.3).
+//! The coordinator (one per deployment, Figure 7) answers repair requests
+//! by selecting helpers and deriving the decoding coefficients, and
+//! implements the greedy least-recently-selected helper scheduling used
+//! during full-node recovery (§3.3).
+//!
+//! Since the metadata plane landed, the coordinator no longer *owns* the
+//! object/stripe namespace: it is a compatibility wrapper over a shared
+//! [`MetaRouter`] (the sharded, WAL-durable store in `ecpipe-meta`).
+//! Planning state that is not metadata — the helper-selection clock — still
+//! lives here, which is why planning methods take `&mut self`. Every
+//! placement carries a monotonic epoch; directives record the epoch they
+//! were planned at so a completion can be rejected as
+//! [`EcPipeError::StaleRepair`] if the block moved in the meantime.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -12,17 +20,22 @@ use std::sync::Arc;
 use ecc::slice::SliceLayout;
 use ecc::stripe::{BlockId, StripeId};
 use ecc::{ErasureCode, MultiRepairPlan, RepairPlan};
+use ecpipe_meta::{MetaConfig, MetaRouter, ObjectRecord, RelocateOutcome, StripeRecord};
 use simnet::NodeId;
 
 use crate::{EcPipeError, Result};
 
-/// Metadata of one stripe: where each of its `n` blocks lives.
+/// Metadata of one stripe: where each of its `n` blocks lives, and the
+/// placement epoch that location vector corresponds to.
 #[derive(Debug, Clone)]
 pub struct StripeMeta {
     /// The stripe id.
     pub id: StripeId,
     /// `locations[i]` is the node storing block `i` of the stripe.
     pub locations: Vec<NodeId>,
+    /// The stripe's placement epoch: 0 at registration, bumped by every
+    /// accepted relocation.
+    pub epoch: u64,
 }
 
 impl StripeMeta {
@@ -40,6 +53,16 @@ impl StripeMeta {
     }
 }
 
+impl From<StripeRecord> for StripeMeta {
+    fn from(r: StripeRecord) -> Self {
+        StripeMeta {
+            id: r.id,
+            locations: r.locations,
+            epoch: r.epoch,
+        }
+    }
+}
+
 /// Metadata of one named object stored through the
 /// [`EcPipe`](crate::EcPipe) façade: its true byte length and the stripes
 /// that hold its (zero-padded) blocks, in order.
@@ -52,6 +75,26 @@ pub struct ObjectMeta {
     /// The stripes storing the object, in offset order. Each stripe holds
     /// `k` data blocks of the object.
     pub stripes: Vec<StripeId>,
+}
+
+impl From<ObjectRecord> for ObjectMeta {
+    fn from(r: ObjectRecord) -> Self {
+        ObjectMeta {
+            name: r.name,
+            size: r.size,
+            stripes: r.stripes,
+        }
+    }
+}
+
+impl From<ObjectMeta> for ObjectRecord {
+    fn from(m: ObjectMeta) -> Self {
+        ObjectRecord {
+            name: m.name,
+            size: m.size,
+            stripes: m.stripes,
+        }
+    }
 }
 
 /// How the coordinator picks helpers when more are available than needed.
@@ -80,6 +123,11 @@ pub struct RepairDirective {
     pub requestor: NodeId,
     /// Block/slice layout.
     pub layout: SliceLayout,
+    /// The stripe's placement epoch when the repair was planned. Completing
+    /// the repair through
+    /// [`relocate_block_at`](Coordinator::relocate_block_at) with this
+    /// epoch rejects the completion if the block relocated in the meantime.
+    pub epoch: u64,
 }
 
 impl RepairDirective {
@@ -129,6 +177,9 @@ pub struct MultiRepairDirective {
     pub requestors: Vec<NodeId>,
     /// Block/slice layout.
     pub layout: SliceLayout,
+    /// The stripe's placement epoch when the repair was planned (see
+    /// [`RepairDirective::epoch`]).
+    pub epoch: u64,
 }
 
 impl MultiRepairDirective {
@@ -141,26 +192,35 @@ impl MultiRepairDirective {
     }
 }
 
-/// The ECPipe coordinator.
+/// The ECPipe coordinator: planning logic over the shared metadata plane.
 pub struct Coordinator {
     code: Arc<dyn ErasureCode>,
     layout: SliceLayout,
-    stripes: HashMap<u64, StripeMeta>,
-    objects: HashMap<String, ObjectMeta>,
-    next_stripe: u64,
+    meta: Arc<MetaRouter>,
     last_selected: HashMap<NodeId, u64>,
     clock: u64,
 }
 
 impl Coordinator {
-    /// Creates a coordinator for a given code and slice layout.
+    /// Creates a coordinator for a given code and slice layout, backed by a
+    /// fresh ephemeral metadata router (the historical behavior).
     pub fn new(code: Arc<dyn ErasureCode>, layout: SliceLayout) -> Self {
+        let meta = MetaRouter::open(MetaConfig::ephemeral())
+            .expect("opening an ephemeral metadata router performs no I/O");
+        Coordinator::with_meta(code, layout, Arc::new(meta))
+    }
+
+    /// Creates a coordinator over an existing (possibly durable, possibly
+    /// recovered) metadata router.
+    pub fn with_meta(
+        code: Arc<dyn ErasureCode>,
+        layout: SliceLayout,
+        meta: Arc<MetaRouter>,
+    ) -> Self {
         Coordinator {
             code,
             layout,
-            stripes: HashMap::new(),
-            objects: HashMap::new(),
-            next_stripe: 0,
+            meta,
             last_selected: HashMap::new(),
             clock: 0,
         }
@@ -176,40 +236,53 @@ impl Coordinator {
         self.layout
     }
 
-    /// Registers a stripe's block locations.
+    /// The metadata router this coordinator plans against.
+    pub fn meta(&self) -> &Arc<MetaRouter> {
+        &self.meta
+    }
+
+    /// Registers a stripe's block locations. Re-registering an existing
+    /// stripe rewrites its placement and bumps its epoch.
     ///
     /// # Panics
     ///
-    /// Panics if the number of locations differs from the code's `n`.
+    /// Panics if the number of locations differs from the code's `n`, or if
+    /// the durable metadata WAL cannot be appended.
     pub fn register_stripe(&mut self, id: StripeId, locations: Vec<NodeId>) {
         assert_eq!(
             locations.len(),
             self.code.n(),
             "stripe must have one location per coded block"
         );
-        self.next_stripe = self.next_stripe.max(id.0 + 1);
-        self.stripes.insert(id.0, StripeMeta { id, locations });
+        self.meta
+            .register_stripe(id, locations)
+            .expect("metadata WAL append");
     }
 
     /// Hands out the next unused stripe id. Ids registered through
     /// [`register_stripe`](Self::register_stripe) are never re-issued, so
     /// façade `put`s and hand-registered stripes can share one namespace.
     pub fn allocate_stripe_id(&mut self) -> u64 {
-        let id = self.next_stripe;
-        self.next_stripe += 1;
-        id
+        self.meta.allocate_stripe_id().0
     }
 
     /// Records a named object and the stripes that store it. Replaces any
     /// previous object of the same name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the durable metadata WAL cannot be appended.
     pub fn register_object(&mut self, meta: ObjectMeta) {
-        self.objects.insert(meta.name.clone(), meta);
+        self.meta
+            .register_object(meta.into())
+            .expect("metadata WAL append");
     }
 
     /// Looks up a named object.
-    pub fn object(&self, name: &str) -> Result<&ObjectMeta> {
-        self.objects
-            .get(name)
+    pub fn object(&self, name: &str) -> Result<ObjectMeta> {
+        self.meta
+            .object(name)
+            .map(ObjectMeta::from)
             .ok_or_else(|| EcPipeError::InvalidRequest {
                 reason: format!("no such object: {name}"),
             })
@@ -217,62 +290,93 @@ impl Coordinator {
 
     /// Whether an object of this name is registered.
     pub fn has_object(&self, name: &str) -> bool {
-        self.objects.contains_key(name)
+        self.meta.has_object(name)
     }
 
-    /// All registered objects, ordered by name.
-    pub fn objects(&self) -> Vec<&ObjectMeta> {
-        let mut metas: Vec<&ObjectMeta> = self.objects.values().collect();
+    /// All registered objects, ordered by name. Clones the whole namespace
+    /// — prefer [`for_each_object`](Self::for_each_object) or
+    /// [`object_count`](Self::object_count) when iterating at scale.
+    pub fn objects(&self) -> Vec<ObjectMeta> {
+        let mut metas = Vec::with_capacity(self.meta.object_count());
+        self.meta
+            .for_each_object(|o| metas.push(ObjectMeta::from(o.clone())));
         metas.sort_by(|a, b| a.name.cmp(&b.name));
         metas
+    }
+
+    /// Visits every registered object without cloning the namespace. Shard
+    /// order, not name order; `f` must not call back into this coordinator
+    /// or its router.
+    pub fn for_each_object(&self, mut f: impl FnMut(&ObjectRecord)) {
+        self.meta.for_each_object(&mut f);
+    }
+
+    /// Number of registered objects.
+    pub fn object_count(&self) -> usize {
+        self.meta.object_count()
     }
 
     /// Unregisters a named object, returning its metadata. The object's
     /// stripes stay registered until [`forget_stripe`](Self::forget_stripe).
     pub fn remove_object(&mut self, name: &str) -> Option<ObjectMeta> {
-        self.objects.remove(name)
+        self.meta
+            .remove_object(name)
+            .expect("metadata WAL append")
+            .map(ObjectMeta::from)
     }
 
     /// Drops a stripe's metadata (e.g. when its object is deleted). The id
     /// is not re-issued. Returns whether the stripe was registered.
     pub fn forget_stripe(&mut self, id: StripeId) -> bool {
-        self.stripes.remove(&id.0).is_some()
+        self.meta.forget_stripe(id).expect("metadata WAL append")
     }
 
     /// Looks up a stripe's metadata.
-    pub fn stripe(&self, id: StripeId) -> Result<&StripeMeta> {
-        self.stripes
-            .get(&id.0)
+    pub fn stripe(&self, id: StripeId) -> Result<StripeMeta> {
+        self.meta
+            .stripe(id)
+            .map(StripeMeta::from)
             .ok_or(EcPipeError::UnknownStripe { stripe: id.0 })
     }
 
-    /// All registered stripes, ordered by id.
-    pub fn stripes(&self) -> Vec<&StripeMeta> {
-        let mut metas: Vec<&StripeMeta> = self.stripes.values().collect();
+    /// The current placement epoch of a stripe.
+    pub fn epoch_of(&self, id: StripeId) -> Result<u64> {
+        Ok(self.meta.epoch_of(id)?)
+    }
+
+    /// All registered stripes, ordered by id. Clones the whole namespace —
+    /// prefer [`for_each_stripe`](Self::for_each_stripe) or
+    /// [`stripe_count`](Self::stripe_count) when iterating at scale.
+    pub fn stripes(&self) -> Vec<StripeMeta> {
+        let mut metas = Vec::with_capacity(self.meta.stripe_count());
+        self.meta
+            .for_each_stripe(|s| metas.push(StripeMeta::from(s.clone())));
         metas.sort_by_key(|m| m.id);
         metas
+    }
+
+    /// Visits every registered stripe without cloning the namespace. Shard
+    /// order, not id order; `f` must not call back into this coordinator or
+    /// its router.
+    pub fn for_each_stripe(&self, mut f: impl FnMut(&StripeRecord)) {
+        self.meta.for_each_stripe(&mut f);
+    }
+
+    /// Number of registered stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.meta.stripe_count()
     }
 
     /// The stripes that stored a block on `node` (the ones affected by that
     /// node's failure), with the index of the lost block.
     pub fn stripes_on_node(&self, node: NodeId) -> Vec<(StripeId, usize)> {
-        let mut affected: Vec<(StripeId, usize)> = self
-            .stripes
-            .values()
-            .filter_map(|m| {
-                m.locations
-                    .iter()
-                    .position(|&n| n == node)
-                    .map(|idx| (m.id, idx))
-            })
-            .collect();
-        affected.sort();
-        affected
+        self.meta.stripes_on_node(node)
     }
 
     /// Records that a block now lives on `node` (e.g. after the repair
     /// manager reconstructed it onto a requestor), so later repair plans for
-    /// the stripe treat that copy as available again.
+    /// the stripe treat that copy as available again. Bumps the stripe's
+    /// placement epoch.
     ///
     /// Returns `Ok(false)` — leaving the mapping unchanged — when `node`
     /// already holds another block of the stripe: a stripe's blocks must
@@ -281,25 +385,32 @@ impl Coordinator {
     /// way. The caller is responsible for the block actually being present
     /// in `node`'s store; the coordinator only tracks metadata.
     pub fn relocate_block(&mut self, stripe: StripeId, index: usize, node: NodeId) -> Result<bool> {
-        let meta = self
-            .stripes
-            .get_mut(&stripe.0)
-            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?;
-        if index >= meta.locations.len() {
-            return Err(EcPipeError::InvalidRequest {
-                reason: format!("block index {index} out of range"),
-            });
+        match self.meta.relocate(stripe, index, node, None)? {
+            RelocateOutcome::Moved { .. } => Ok(true),
+            RelocateOutcome::Refused => Ok(false),
         }
-        if meta
-            .locations
-            .iter()
-            .enumerate()
-            .any(|(i, &n)| i != index && n == node)
+    }
+
+    /// Like [`relocate_block`](Self::relocate_block), but only if the
+    /// stripe is still at `planned_epoch` — the completion path of an
+    /// epoch-carrying [`RepairDirective`]. Returns
+    /// [`EcPipeError::StaleRepair`] when the block relocated after the
+    /// directive was planned, so a stale repair is rejected instead of
+    /// silently double-healing.
+    pub fn relocate_block_at(
+        &mut self,
+        stripe: StripeId,
+        index: usize,
+        node: NodeId,
+        planned_epoch: u64,
+    ) -> Result<bool> {
+        match self
+            .meta
+            .relocate(stripe, index, node, Some(planned_epoch))?
         {
-            return Ok(false);
+            RelocateOutcome::Moved { .. } => Ok(true),
+            RelocateOutcome::Refused => Ok(false),
         }
-        meta.locations[index] = node;
-        Ok(true)
     }
 
     /// Plans a single-block repair: the failed block of `stripe` is
@@ -315,11 +426,7 @@ impl Coordinator {
         unavailable: &[usize],
         policy: SelectionPolicy,
     ) -> Result<RepairDirective> {
-        let meta = self
-            .stripes
-            .get(&stripe.0)
-            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?
-            .clone();
+        let meta = self.stripe(stripe)?;
         if failed >= self.code.n() {
             return Err(EcPipeError::InvalidRequest {
                 reason: format!("block index {failed} out of range"),
@@ -366,6 +473,7 @@ impl Coordinator {
             path,
             requestor,
             layout: self.layout,
+            epoch: meta.epoch,
         })
     }
 
@@ -382,11 +490,7 @@ impl Coordinator {
                 reason: "one requestor per failed block required".to_string(),
             });
         }
-        let meta = self
-            .stripes
-            .get(&stripe.0)
-            .ok_or(EcPipeError::UnknownStripe { stripe: stripe.0 })?
-            .clone();
+        let meta = self.stripe(stripe)?;
         let available: Vec<usize> = (0..self.code.n())
             .filter(|i| !failed.contains(i) && !requestors.contains(&meta.node_of(*i)))
             .collect();
@@ -413,6 +517,7 @@ impl Coordinator {
             path,
             requestors: ordered_requestors,
             layout: self.layout,
+            epoch: meta.epoch,
         })
     }
 }
@@ -436,6 +541,7 @@ mod tests {
         assert_eq!(c.stripe(StripeId(2)).unwrap().node_of(0), 5);
         assert!(c.stripe(StripeId(9)).is_err());
         assert_eq!(c.stripes().len(), 2);
+        assert_eq!(c.stripe_count(), 2);
     }
 
     #[test]
@@ -459,8 +565,12 @@ mod tests {
         });
         assert!(c.has_object("/a"));
         assert_eq!(c.object("/a").unwrap().size, 123);
-        let names: Vec<&str> = c.objects().iter().map(|o| o.name.as_str()).collect();
+        let names: Vec<String> = c.objects().into_iter().map(|o| o.name).collect();
         assert_eq!(names, vec!["/a", "/b"]);
+        assert_eq!(c.object_count(), 2);
+        let mut seen = 0;
+        c.for_each_object(|_| seen += 1);
+        assert_eq!(seen, 2);
     }
 
     #[test]
@@ -478,6 +588,33 @@ mod tests {
         assert_eq!(c.stripe(StripeId(1)).unwrap().node_of(4), 4);
         // Re-relocating the same block to the same node is a no-op success.
         assert!(c.relocate_block(StripeId(1), 2, 9).unwrap());
+    }
+
+    #[test]
+    fn epochs_version_placements_and_reject_stale_completions() {
+        let mut c = coordinator();
+        c.register_stripe(StripeId(1), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(c.epoch_of(StripeId(1)).unwrap(), 0);
+        let d = c
+            .plan_single_repair(StripeId(1), 2, 9, &[], SelectionPolicy::CodeDefault)
+            .unwrap();
+        assert_eq!(d.epoch, 0);
+        // The placement moves underneath the directive...
+        assert!(c.relocate_block(StripeId(1), 2, 8).unwrap());
+        assert_eq!(c.epoch_of(StripeId(1)).unwrap(), 1);
+        // ...so completing it at the planned epoch is rejected.
+        match c.relocate_block_at(StripeId(1), 2, 9, d.epoch) {
+            Err(EcPipeError::StaleRepair {
+                planned: 0,
+                current: 1,
+                ..
+            }) => {}
+            other => panic!("expected StaleRepair, got {other:?}"),
+        }
+        assert_eq!(c.stripe(StripeId(1)).unwrap().node_of(2), 8);
+        // A completion planned at the current epoch goes through.
+        assert!(c.relocate_block_at(StripeId(1), 2, 9, 1).unwrap());
+        assert_eq!(c.epoch_of(StripeId(1)).unwrap(), 2);
     }
 
     #[test]
@@ -559,6 +696,7 @@ mod tests {
         assert_eq!(d.plan.failed, vec![1, 5]);
         assert_eq!(d.requestors, vec![11, 10]);
         assert_eq!(d.path.len(), 4);
+        assert_eq!(d.epoch, 0);
     }
 
     #[test]

@@ -53,13 +53,15 @@ use std::sync::Arc;
 use ecc::slice::SliceLayout;
 use ecc::stripe::StripeId;
 use ecc::{ErasureCode, ReedSolomon};
+use ecpipe_meta::{MetaBackend, MetaConfig, MetaRouter};
 use simnet::NodeId;
 
 use crate::cluster::Cluster;
 use crate::coordinator::{Coordinator, ObjectMeta};
 use crate::exec::ExecStrategy;
 use crate::manager::{
-    ManagerConfig, ManagerReport, NodeHealth, RepairManager, ScrubConfig, ScrubCycle, Scrubber,
+    ManagerConfig, ManagerReport, NodeHealth, RepairManager, RepairPriority, RepairRequest,
+    ScrubConfig, ScrubCycle, Scrubber,
 };
 use crate::store::StoreBackend;
 use crate::transport::{AnyTransport, ChannelTransport, TcpTransport};
@@ -91,6 +93,8 @@ pub struct EcPipeBuilder {
     transport: TransportChoice,
     rate_limit: Option<u64>,
     manager: ManagerConfig,
+    meta_backend: MetaBackend,
+    meta_shards: usize,
 }
 
 impl Default for EcPipeBuilder {
@@ -104,6 +108,8 @@ impl Default for EcPipeBuilder {
             transport: TransportChoice::Channel,
             rate_limit: None,
             manager: ManagerConfig::default(),
+            meta_backend: MetaBackend::Ephemeral,
+            meta_shards: MetaConfig::DEFAULT_SHARDS,
         }
     }
 }
@@ -192,6 +198,25 @@ impl EcPipeBuilder {
         self
     }
 
+    /// Chooses where the metadata plane keeps object/stripe/repair state.
+    /// [`MetaBackend::Ephemeral`] (the default) keeps it in memory;
+    /// [`MetaBackend::Durable`] writes per-shard WALs and snapshots under a
+    /// root directory, and building over an existing directory *recovers*
+    /// the namespace — placements, epochs and still-pending repair
+    /// directives — before the runtime starts (pair it with a file-backed
+    /// [`StoreBackend`] so the blocks survive too).
+    pub fn meta(mut self, backend: MetaBackend) -> Self {
+        self.meta_backend = backend;
+        self
+    }
+
+    /// Sets the metadata shard count (clamped to at least 1). Reopening a
+    /// durable directory keeps the count it was created with.
+    pub fn meta_shards(mut self, shards: usize) -> Self {
+        self.meta_shards = shards.max(1);
+        self
+    }
+
     /// Builds the runtime: stores, cluster, coordinator, transport, and the
     /// repair-manager daemon serving the degraded-read path.
     pub fn build(self) -> Result<EcPipe> {
@@ -215,7 +240,30 @@ impl EcPipeBuilder {
             });
         }
         let cluster = Cluster::new(backend)?;
-        let coordinator = Coordinator::new(code.clone(), layout);
+        let meta = Arc::new(MetaRouter::open(
+            MetaConfig::new(self.meta_backend).with_shards(self.meta_shards),
+        )?);
+        // Recovery half 1: reinstate the cluster's in-memory placements from
+        // the recovered namespace (a fresh or ephemeral router yields
+        // nothing here). Placements are validated against the configured
+        // code — a durable directory from a different deployment must not
+        // silently half-work.
+        let mut recovered: Vec<(StripeId, Vec<NodeId>)> = Vec::new();
+        meta.for_each_stripe(|s| recovered.push((s.id, s.locations.clone())));
+        for (id, placement) in recovered {
+            if placement.len() != code.n() {
+                return Err(EcPipeError::InvalidRequest {
+                    reason: format!(
+                        "recovered stripe {} has {} blocks but the configured code has n = {}",
+                        id.0,
+                        placement.len(),
+                        code.n()
+                    ),
+                });
+            }
+            cluster.restore_placement(id, placement);
+        }
+        let coordinator = Coordinator::with_meta(code.clone(), layout, meta.clone());
         let mut config = self.manager;
         // The data path depends on repaired blocks being findable again and
         // on node failures being recoverable without extra wiring.
@@ -233,8 +281,29 @@ impl EcPipeBuilder {
                 AnyTransport::from(TcpTransport::with_rate_limit(rate))
             }
         };
+        let manager = RepairManager::start(coordinator, cluster, transport, config);
+        // Recovery half 2: re-drive the repairs a previous process had
+        // queued or in flight. A directive whose epoch trails its stripe's
+        // current epoch is *stale* — the block relocated after the
+        // directive was journaled (typically: the repair completed and
+        // crashed before resolving) — and is rejected here instead of
+        // double-healing; rejection resolves its record.
+        for pending in meta.pending_repairs() {
+            let current = meta.epoch_of(pending.stripe);
+            let fresh = matches!(current, Ok(epoch) if epoch == pending.epoch);
+            if fresh {
+                let _ = manager.enqueue(RepairRequest {
+                    stripe: pending.stripe,
+                    failed: pending.index,
+                    requestor: pending.requestor,
+                    priority: RepairPriority::from_tag(pending.priority),
+                });
+            } else {
+                let _ = meta.resolve_repair(pending.stripe, pending.index);
+            }
+        }
         Ok(EcPipe {
-            manager: RepairManager::start(coordinator, cluster, transport, config),
+            manager,
             code,
             layout,
         })
@@ -538,13 +607,12 @@ impl EcPipe {
 
     /// Metadata of a stored object.
     pub fn object_meta(&self, name: &str) -> Result<ObjectMeta> {
-        self.manager.with_coordinator(|c| c.object(name).cloned())
+        self.manager.with_coordinator(|c| c.object(name))
     }
 
     /// All stored objects, ordered by name.
     pub fn objects(&self) -> Vec<ObjectMeta> {
-        self.manager
-            .with_coordinator(|c| c.objects().into_iter().cloned().collect())
+        self.manager.with_coordinator(|c| c.objects())
     }
 
     // ------------------------------------------------------------------
@@ -629,10 +697,28 @@ impl EcPipe {
         self.manager.with_coordinator(f)
     }
 
+    /// The metadata plane underneath: the sharded, WAL-durable namespace of
+    /// objects, stripe placements and pending repair directives.
+    pub fn meta(&self) -> Arc<MetaRouter> {
+        self.manager.with_coordinator(|c| c.meta().clone())
+    }
+
     /// Graceful shutdown: drains the repair queue, stops the workers and
     /// returns the run's [`ManagerReport`].
     pub fn shutdown(self) -> ManagerReport {
         self.manager.shutdown()
+    }
+
+    /// Simulated `kill -9`: stops the runtime *without* draining the repair
+    /// queue or resolving journaled repair directives, as a process crash
+    /// would. With a [`MetaBackend::durable`] backend and a persistent
+    /// [`StoreBackend`], a subsequent [`EcPipeBuilder::build`] over the same
+    /// directories recovers the namespace byte-exactly and re-drives the
+    /// repairs this process abandoned (stale ones — whose block relocated
+    /// before the crash — are rejected by the epoch check instead of being
+    /// healed twice).
+    pub fn simulate_crash(self) {
+        self.manager.crash_stop();
     }
 }
 

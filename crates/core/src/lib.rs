@@ -97,6 +97,9 @@ pub use cluster::Cluster;
 pub use coordinator::{
     Coordinator, MultiRepairDirective, ObjectMeta, RepairDirective, SelectionPolicy, StripeMeta,
 };
+pub use ecpipe_meta::{
+    MetaBackend, MetaConfig, MetaError, MetaRouter, ObjectRecord, RepairRecord, StripeRecord,
+};
 pub use error::EcPipeError;
 pub use exec::ExecStrategy;
 pub use facade::{

@@ -149,7 +149,7 @@ pub fn run_batch<T: Transport + ?Sized>(
     config: &ManagerConfig,
     requests: Vec<RepairRequest>,
 ) -> Result<ManagerReport> {
-    let engine = EngineState::new(config, true);
+    let engine = EngineState::new(config, true, coordinator.meta().clone());
     for request in requests {
         // The queue cannot be closed yet, so only duplicates are dropped.
         let _ = engine.submit(request)?;
@@ -276,8 +276,9 @@ impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
         config: ManagerConfig,
     ) -> Self {
         let baseline_bytes = transport.total_bytes();
+        let meta = coordinator.meta().clone();
         let shared = Arc::new(DaemonShared {
-            engine: EngineState::new(&config, false),
+            engine: EngineState::new(&config, false, meta),
             coordinator: Mutex::new(&lock_order::COORDINATOR, coordinator),
             cluster,
             transport,
@@ -430,6 +431,21 @@ impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
                 Some(stop),
             );
         })
+    }
+
+    /// Simulated `kill -9`: stops the workers like
+    /// [`shutdown`](Self::shutdown), but skips the graceful bookkeeping in
+    /// the durable metadata journal — still-queued repairs are skipped
+    /// (their pending records survive) and repairs finishing after the
+    /// crash are not resolved. Reopening the same metadata directory then
+    /// exercises the real crash-recovery path: pending directives are
+    /// re-enqueued, stale ones rejected by their epoch. A crashed process
+    /// files no report.
+    pub fn crash_stop(self) {
+        self.shared.engine.crash();
+        for worker in self.workers {
+            let _ = worker.join();
+        }
     }
 
     /// Graceful shutdown: stops accepting work, drains the queue, joins the

@@ -33,6 +33,26 @@ pub enum RepairPriority {
 }
 
 impl RepairPriority {
+    /// The stable one-byte tag this priority is journaled as in the durable
+    /// metadata plane's pending-repair records.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            RepairPriority::DegradedRead => 0,
+            RepairPriority::Corruption => 1,
+            RepairPriority::Background => 2,
+        }
+    }
+
+    /// Decodes a journaled tag; unknown tags (from a newer writer) degrade
+    /// to background priority rather than failing recovery.
+    pub(crate) fn from_tag(tag: u8) -> RepairPriority {
+        match tag {
+            0 => RepairPriority::DegradedRead,
+            1 => RepairPriority::Corruption,
+            _ => RepairPriority::Background,
+        }
+    }
+
     /// A short label for reports and logs.
     #[deprecated(since = "0.2.0", note = "use the `Display` impl instead")]
     pub fn label(&self) -> &'static str {

@@ -12,11 +12,13 @@
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
 
 use ecc::stripe::BlockId;
+use ecpipe_meta::{MetaRouter, RepairRecord};
 use ecpipe_sync::{Condvar, Mutex, OnceFlag};
 use simnet::NodeId;
 
@@ -154,10 +156,18 @@ pub(crate) struct EngineState {
     /// Round-robin requestor pool for auto-enqueued node recovery.
     auto_requestors: Vec<NodeId>,
     auto_rr: AtomicUsize,
+    /// The metadata plane: accepted requests are journaled as pending
+    /// repairs here (and resolved on completion), so a durable deployment
+    /// re-enqueues whatever a crash interrupted.
+    meta: Arc<MetaRouter>,
+    /// Simulated power loss: once set, queued work is skipped and finished
+    /// work is no longer resolved in the journal — the WAL keeps looking
+    /// exactly as it would after `kill -9`.
+    crashed: OnceFlag,
 }
 
 impl EngineState {
-    pub(crate) fn new(config: &ManagerConfig, fail_fast: bool) -> Self {
+    pub(crate) fn new(config: &ManagerConfig, fail_fast: bool, meta: Arc<MetaRouter>) -> Self {
         EngineState {
             queue: RepairQueue::new(),
             gate: AdmissionGate::new(config.per_node_inflight_cap),
@@ -172,6 +182,8 @@ impl EngineState {
             scheduled_changed: Condvar::new(),
             auto_requestors: config.auto_requestors.clone(),
             auto_rr: AtomicUsize::new(0),
+            meta,
+            crashed: OnceFlag::new(),
         }
     }
 
@@ -184,6 +196,20 @@ impl EngineState {
             return Ok(false);
         }
         *self.pending.lock() += 1;
+        // Journal before the push (holding no locks): once the request can
+        // run, a crash must find its record. Best effort — an unknown
+        // stripe (hand-driven engines may enqueue before registering) goes
+        // unjournaled, and on a closed queue the record stays pending: the
+        // repair never ran, so a durable reopen re-enqueueing it is right.
+        if let Ok(epoch) = self.meta.epoch_of(request.stripe) {
+            let _ = self.meta.record_repair(RepairRecord {
+                stripe: request.stripe,
+                index: request.failed,
+                requestor: request.requestor,
+                priority: request.priority.tag(),
+                epoch,
+            });
+        }
         if self.queue.push(request) {
             Ok(true)
         } else {
@@ -191,6 +217,29 @@ impl EngineState {
             self.finish_pending();
             Err(EcPipeError::ManagerShutdown)
         }
+    }
+
+    /// Marks a repair's journal record resolved — it ran to an outcome
+    /// (success, terminal failure, or stale rejection) and must not be
+    /// re-enqueued by recovery. Skipped after a simulated crash.
+    fn resolve_journal(&self, key: (u64, usize)) {
+        if !self.crashed() {
+            let _ = self
+                .meta
+                .resolve_repair(ecc::stripe::StripeId(key.0), key.1);
+        }
+    }
+
+    /// Simulates power loss: stops serving (closing the queue) without
+    /// resolving journaled repairs, so a durable reopen sees every queued
+    /// and in-flight directive still pending.
+    pub(crate) fn crash(&self) {
+        self.crashed.set();
+        self.queue.close();
+    }
+
+    pub(crate) fn crashed(&self) -> bool {
+        self.crashed.is_set()
     }
 
     /// Removes a block from the scheduled set and wakes anyone waiting for
@@ -344,7 +393,10 @@ pub(crate) fn worker_loop<C, T>(
 {
     while let Some(job) = engine.queue.pop() {
         let key = (job.request.stripe.0, job.request.failed);
-        if engine.aborted() {
+        if engine.aborted() || engine.crashed() {
+            // Skipped work is *not* resolved in the journal: after a crash
+            // (or an aborted batch) the block still needs the repair, and a
+            // durable reopen must re-enqueue it.
             engine.unschedule(key);
             engine.finish_pending();
             continue;
@@ -382,6 +434,7 @@ pub(crate) fn worker_loop<C, T>(
                 }
             }
         }
+        engine.resolve_journal(key);
         engine.unschedule(key);
         engine.finish_pending();
     }
@@ -523,9 +576,18 @@ where
                     // views in step; the coordinator refuses relocations
                     // that would put two blocks of a stripe on one node, in
                     // which case the cluster mapping must not move either.
-                    match coord
-                        .with(|c| c.relocate_block(request.stripe, request.failed, requestor))
-                    {
+                    // The completion is pinned to the epoch the directive
+                    // was planned at: if the placement moved while this
+                    // repair was in flight, the relocation is rejected as
+                    // stale instead of double-healing the block.
+                    match coord.with(|c| {
+                        c.relocate_block_at(
+                            request.stripe,
+                            request.failed,
+                            requestor,
+                            directive.epoch,
+                        )
+                    }) {
                         Ok(true) => {
                             if let Err(error) =
                                 cluster.relocate(request.stripe, request.failed, requestor)
@@ -534,6 +596,22 @@ where
                             }
                         }
                         Ok(false) => {}
+                        Err(error @ EcPipeError::StaleRepair { .. }) => {
+                            // Another repair (or an operator move) won the
+                            // race. The copy just stored is redundant —
+                            // drop it, unless the winning placement put the
+                            // block on this very node.
+                            let holder = coord.with(|c| {
+                                c.stripe(request.stripe).map(|m| m.node_of(request.failed))
+                            });
+                            if !matches!(holder, Ok(h) if h == requestor) {
+                                let _ = cluster.store(requestor).delete(BlockId {
+                                    stripe: request.stripe,
+                                    index: request.failed,
+                                });
+                            }
+                            return Err(RepairFailure { error, replans });
+                        }
                         Err(error) => return Err(RepairFailure { error, replans }),
                     }
                 }

@@ -1,0 +1,251 @@
+//! The ECPipe metadata plane: a sharded, WAL-durable object/stripe
+//! namespace with epoch-versioned placements.
+//!
+//! The runtime's `Coordinator` used to keep every object→stripe→placement
+//! fact in one in-memory map: a serialization bottleneck at scale and a
+//! single point of total metadata loss on restart. This crate is the
+//! subsystem underneath it:
+//!
+//! * [`MetaRouter`] — a thin router over `shards` independent shards. Keys
+//!   (object names, stripe ids) are placed on a consistent-hash ring, so
+//!   every operation locks exactly one shard and per-op latency stays flat
+//!   as the namespace grows (the `meta_ops` bench registers a million
+//!   objects to pin this).
+//! * Each shard owns a **write-ahead log** plus a periodic **snapshot**
+//!   (length-prefixed, CRC-framed records — the same framing idiom the TCP
+//!   transport and the integrity sidecars use), so a killed process
+//!   recovers every object, placement and in-flight repair directive
+//!   byte-exactly on reopen. A torn tail record is detected by its CRC and
+//!   dropped whole — never partially applied.
+//! * Every stripe placement carries a **monotonic epoch**: relocating a
+//!   block (which is how a repair completion publishes its result) bumps
+//!   it, and a caller may pass the epoch it planned against to have a stale
+//!   relocation rejected with [`MetaError::StaleEpoch`] instead of silently
+//!   double-healing a block that already moved.
+//!
+//! Durability is opt-in per deployment: [`MetaBackend::Ephemeral`] keeps
+//! everything in memory (the historical behavior), while
+//! [`MetaBackend::Durable`] writes the WAL/snapshot files under a root
+//! directory.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+
+use ecc::stripe::StripeId;
+use simnet::NodeId;
+
+pub mod lock_order;
+mod router;
+mod shard;
+pub mod wal;
+
+pub use router::{shard_dir, MetaRouter, RelocateOutcome};
+
+/// Result alias for metadata operations.
+pub type Result<T> = std::result::Result<T, MetaError>;
+
+/// Where the metadata plane keeps its state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetaBackend {
+    /// In-memory only: nothing survives the handle. The historical
+    /// coordinator behavior, and the right choice for tests and benches.
+    Ephemeral,
+    /// WAL + snapshot files under this root directory; a reopened router
+    /// recovers the namespace byte-exactly.
+    Durable(PathBuf),
+}
+
+impl MetaBackend {
+    /// Shorthand for [`MetaBackend::Durable`].
+    pub fn durable(root: impl Into<PathBuf>) -> Self {
+        MetaBackend::Durable(root.into())
+    }
+}
+
+/// Configuration for [`MetaRouter::open`].
+#[derive(Debug, Clone)]
+pub struct MetaConfig {
+    /// Storage backend.
+    pub backend: MetaBackend,
+    /// Number of shards. A durable directory remembers the shard count it
+    /// was created with (in its manifest) and reopening uses that count —
+    /// the ring must keep routing keys to the shard that logged them.
+    pub shards: usize,
+    /// A shard rewrites its snapshot and truncates its WAL after this many
+    /// appended records. Replay after a crash between the snapshot rename
+    /// and the WAL truncation is safe because every record is an
+    /// idempotent upsert carrying absolute values.
+    pub snapshot_every: usize,
+}
+
+impl MetaConfig {
+    /// Default shard count: enough to keep shard locks uncontended without
+    /// a directory full of near-empty WALs.
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    /// Default snapshot cadence, in WAL records per shard.
+    pub const DEFAULT_SNAPSHOT_EVERY: usize = 4096;
+
+    /// A configuration with the default shard count and snapshot cadence.
+    pub fn new(backend: MetaBackend) -> Self {
+        MetaConfig {
+            backend,
+            shards: Self::DEFAULT_SHARDS,
+            snapshot_every: Self::DEFAULT_SNAPSHOT_EVERY,
+        }
+    }
+
+    /// An ephemeral configuration (the default backend).
+    pub fn ephemeral() -> Self {
+        MetaConfig::new(MetaBackend::Ephemeral)
+    }
+
+    /// Sets the shard count (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the snapshot cadence (clamped to at least 1).
+    pub fn with_snapshot_every(mut self, records: usize) -> Self {
+        self.snapshot_every = records.max(1);
+        self
+    }
+}
+
+impl Default for MetaConfig {
+    fn default() -> Self {
+        MetaConfig::ephemeral()
+    }
+}
+
+/// One named object: its true byte length and the stripes storing its
+/// (zero-padded) blocks, in offset order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectRecord {
+    /// Object name (the routing key).
+    pub name: String,
+    /// Original size in bytes, before padding to whole blocks.
+    pub size: usize,
+    /// The stripes storing the object, in offset order.
+    pub stripes: Vec<StripeId>,
+}
+
+/// One stripe: where each of its `n` blocks lives, and the placement epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeRecord {
+    /// The stripe id (the routing key).
+    pub id: StripeId,
+    /// `locations[i]` is the node storing block `i`.
+    pub locations: Vec<NodeId>,
+    /// Monotonic placement version: starts at 0 on registration, bumped by
+    /// every accepted relocation (and by re-registration). A repair
+    /// directive planned at epoch `e` is stale once the stripe moved past
+    /// `e`.
+    pub epoch: u64,
+}
+
+impl StripeRecord {
+    /// The node storing block `index`.
+    pub fn node_of(&self, index: usize) -> NodeId {
+        self.locations[index]
+    }
+}
+
+/// One in-flight repair directive, persisted so a crashed manager's queue
+/// can be re-enqueued on reopen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepairRecord {
+    /// The stripe being repaired.
+    pub stripe: StripeId,
+    /// Index of the block being reconstructed.
+    pub index: usize,
+    /// Node that receives the reconstructed block.
+    pub requestor: NodeId,
+    /// Opaque priority tag (the manager's priority class, encoded by the
+    /// caller; this crate only stores it).
+    pub priority: u8,
+    /// The stripe's placement epoch when the repair was enqueued. On
+    /// reopen, a record whose epoch trails the stripe's current epoch is a
+    /// stale directive: the block already moved, re-running the repair
+    /// would double-heal.
+    pub epoch: u64,
+}
+
+/// Errors from the metadata plane.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MetaError {
+    /// The stripe is not registered.
+    UnknownStripe {
+        /// The raw stripe id.
+        stripe: u64,
+    },
+    /// A placement-versioned operation lost its race: the stripe's epoch
+    /// moved past the one the caller planned against.
+    StaleEpoch {
+        /// The raw stripe id.
+        stripe: u64,
+        /// The block index involved.
+        index: usize,
+        /// The epoch the caller planned against.
+        expected: u64,
+        /// The stripe's current epoch.
+        actual: u64,
+    },
+    /// The request is malformed (out-of-range index, bad configuration).
+    InvalidRequest {
+        /// Why the request was rejected.
+        reason: String,
+    },
+    /// A durable file failed structural validation (bad magic or manifest;
+    /// a torn WAL *tail* is not corruption — it is dropped silently and
+    /// counted).
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed to validate.
+        reason: String,
+    },
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for MetaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaError::UnknownStripe { stripe } => write!(f, "unknown stripe {stripe}"),
+            MetaError::StaleEpoch {
+                stripe,
+                index,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "stale epoch for block {index} of stripe {stripe}: \
+                 planned at {expected}, placement is at {actual}"
+            ),
+            MetaError::InvalidRequest { reason } => write!(f, "invalid request: {reason}"),
+            MetaError::Corrupt { path, reason } => {
+                write!(f, "corrupt metadata file {}: {reason}", path.display())
+            }
+            MetaError::Io(e) => write!(f, "metadata I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MetaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MetaError {
+    fn from(e: std::io::Error) -> Self {
+        MetaError::Io(e)
+    }
+}

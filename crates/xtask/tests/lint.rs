@@ -89,6 +89,23 @@ fn planted_parking_lot_is_flagged() {
 }
 
 #[test]
+fn planted_raw_sync_under_crates_meta_is_flagged() {
+    // The metadata plane is NOT on the exempt list: its shard and router
+    // locks must come from crates/sync like everyone else's, so a raw
+    // primitive planted under a crates/meta path must fail the lint.
+    let fx = Fixture::new("raw-meta");
+    fx.write(
+        "crates/meta/src/shard.rs",
+        "use std::sync::Mutex;\npub struct Shard { state: Mutex<u32> }\n",
+    );
+    let findings = fx.findings();
+    assert!(
+        findings.iter().any(|f| f.rule == "raw-sync"),
+        "crates/meta must be covered by the raw-sync rule, got: {findings:?}"
+    );
+}
+
+#[test]
 fn arc_and_atomics_are_not_raw_sync() {
     let fx = Fixture::new("raw-ok");
     fx.write(

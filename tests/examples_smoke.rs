@@ -49,3 +49,8 @@ fn tcp_repair_runs() {
 fn repair_daemon_runs() {
     run_example("repair_daemon");
 }
+
+#[test]
+fn restart_recovery_runs() {
+    run_example("restart_recovery");
+}

@@ -1,0 +1,234 @@
+//! Kill-and-restart acceptance tests for the durable metadata plane.
+//!
+//! A durable [`EcPipe`] is killed (`simulate_crash`, the in-process stand-in
+//! for `kill -9`) with one repair in flight and one still queued. A rebuilt
+//! handle over the same directories must recover every object, placement and
+//! epoch byte-exactly, re-drive the queued repair, and reject the stale
+//! directive left behind by the repair that completed-but-never-resolved —
+//! the epoch check is what stands between a crash and double-healing.
+
+use std::path::{Path, PathBuf};
+
+use repair_pipelining::ecpipe::{
+    EcPipeBuilder, MetaBackend, MetaConfig, MetaRouter, ObjectRecord, RepairPriority, RepairRecord,
+    RepairRequest, StoreBackend, StripeRecord,
+};
+
+const NODES: usize = 6;
+const BLOCK: usize = 16 * 1024;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ecpipe-meta-rec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn builder(root: &Path) -> EcPipeBuilder {
+    EcPipeBuilder::new()
+        .code(4, 2)
+        .block_size(BLOCK)
+        .slice_size(4 * 1024)
+        .store(StoreBackend::file(root.join("store"), NODES))
+        .meta(MetaBackend::durable(root.join("meta")))
+        .meta_shards(4)
+        .workers(1)
+}
+
+/// Everything the metadata plane is responsible for remembering, collected
+/// for whole-namespace equality checks across a crash.
+#[derive(Debug, PartialEq)]
+struct Namespace {
+    objects: Vec<ObjectRecord>,
+    stripes: Vec<StripeRecord>,
+    pending: Vec<RepairRecord>,
+}
+
+fn namespace(meta: &MetaRouter) -> Namespace {
+    let mut objects = Vec::new();
+    meta.for_each_object(|o| objects.push(o.clone()));
+    objects.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut stripes = Vec::new();
+    meta.for_each_stripe(|s| stripes.push(s.clone()));
+    stripes.sort_by_key(|s| s.id);
+    Namespace {
+        objects,
+        stripes,
+        pending: meta.pending_repairs(),
+    }
+}
+
+/// A node outside the stripe's current placement, for relocating repairs.
+fn spare_node(stripe: &StripeRecord) -> usize {
+    (0..NODES)
+        .find(|n| !stripe.locations.contains(n))
+        .expect("6 nodes, 4 blocks: a spare always exists")
+}
+
+#[test]
+fn kill_and_restart_recovers_namespace_and_rejects_stale_directives() {
+    let root = fresh_dir("kill-restart");
+    let data: Vec<u8> = (0..100_000).map(|i| (i % 249) as u8).collect();
+
+    // --- Run 1: populate, wound two stripes, crash mid-repair. -----------
+    // The low transport rate makes the in-flight repair take ~300 ms, so
+    // the crash below lands while it is mid-transfer, deterministically.
+    let pipe = builder(&root).rate_limit(96 * 1024).build().unwrap();
+    pipe.put("/acceptance/object", &data).unwrap();
+
+    let meta = pipe.meta();
+    let mut stripes = Vec::new();
+    meta.for_each_stripe(|s| stripes.push(s.clone()));
+    stripes.sort_by_key(|s| s.id);
+    assert!(
+        stripes.len() >= 3,
+        "need >= 3 stripes, got {}",
+        stripes.len()
+    );
+    let (s0, s1) = (stripes[0].clone(), stripes[1].clone());
+    let (r0, r1) = (spare_node(&s0), spare_node(&s1));
+
+    // Repair 1 goes in flight on the single worker...
+    assert!(pipe.erase_block(s0.id, 0));
+    pipe.manager()
+        .enqueue(RepairRequest {
+            stripe: s0.id,
+            failed: 0,
+            requestor: r0,
+            priority: RepairPriority::Background,
+        })
+        .unwrap();
+    let popped = std::time::Instant::now();
+    while pipe.manager().queued() > 0 {
+        assert!(
+            popped.elapsed().as_secs() < 10,
+            "repair never went in flight"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    // ...and repair 2 queues behind it, never reaching a worker.
+    assert!(pipe.erase_block(s1.id, 0));
+    pipe.manager()
+        .enqueue(RepairRequest {
+            stripe: s1.id,
+            failed: 0,
+            requestor: r1,
+            priority: RepairPriority::Corruption,
+        })
+        .unwrap();
+
+    pipe.simulate_crash();
+
+    // The crash joined the in-flight repair: it stored + relocated (epoch
+    // bump persisted) but never resolved its journal record — the stale
+    // directive. The queued repair was dropped unrun — still pending, and
+    // still current.
+    assert_eq!(meta.epoch_of(s0.id).unwrap(), s0.epoch + 1);
+    assert_eq!(meta.stripe(s0.id).unwrap().node_of(0), r0);
+    assert_eq!(meta.epoch_of(s1.id).unwrap(), s1.epoch);
+    let expected = namespace(&meta);
+    assert_eq!(expected.pending.len(), 2, "both directives journaled");
+    drop(meta);
+    drop(stripes);
+
+    // --- Byte-exact reopen: a raw router over the same directory sees the
+    // identical namespace, including the shard count from the manifest. ---
+    {
+        let raw =
+            MetaRouter::open(MetaConfig::new(MetaBackend::durable(root.join("meta")))).unwrap();
+        assert_eq!(raw.shard_count(), 4, "manifest shard count wins");
+        assert_eq!(raw.dropped_tail_records(), 0, "clean crash: no torn tail");
+        assert_eq!(namespace(&raw), expected);
+    }
+
+    // --- Run 2: rebuild over the same directories. -----------------------
+    let pipe = builder(&root).build().unwrap();
+    let meta = pipe.meta();
+
+    // The stale directive (s0: planned at the pre-relocation epoch) was
+    // rejected by the epoch check and resolved, not double-healed: the
+    // placement and epoch are exactly what the crash left behind.
+    assert_eq!(meta.epoch_of(s0.id).unwrap(), s0.epoch + 1);
+    assert_eq!(meta.stripe(s0.id).unwrap().node_of(0), r0);
+    assert!(
+        !meta
+            .pending_repairs()
+            .iter()
+            .any(|p| p.stripe == s0.id && p.index == 0),
+        "stale directive must be resolved on reopen"
+    );
+
+    // The current directive (s1) was re-enqueued and completes.
+    pipe.manager().wait_idle();
+    assert_eq!(meta.epoch_of(s1.id).unwrap(), s1.epoch + 1);
+    assert_eq!(meta.stripe(s1.id).unwrap().node_of(0), r1);
+    assert!(meta.pending_repairs().is_empty());
+    drop(meta);
+
+    // The data path survived the whole ordeal byte-exactly.
+    assert_eq!(pipe.get("/acceptance/object").unwrap(), data);
+    let report = pipe.shutdown();
+    assert_eq!(report.failed_repairs, 0);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// An ephemeral pipe over a durable store directory starts from an empty
+/// namespace — durability is the metadata backend's property, not the
+/// store's.
+#[test]
+fn ephemeral_backend_forgets_across_handles() {
+    let root = fresh_dir("ephemeral");
+    let data = vec![7u8; 40_000];
+    {
+        let pipe = EcPipeBuilder::new()
+            .code(4, 2)
+            .block_size(BLOCK)
+            .store(StoreBackend::file(root.join("store"), NODES))
+            .build()
+            .unwrap();
+        pipe.put("/gone/after/drop", &data).unwrap();
+        pipe.shutdown();
+    }
+    let pipe = EcPipeBuilder::new()
+        .code(4, 2)
+        .block_size(BLOCK)
+        .store(StoreBackend::file(root.join("store"), NODES))
+        .build()
+        .unwrap();
+    assert!(pipe.get("/gone/after/drop").is_err());
+    assert_eq!(pipe.meta().object_count(), 0);
+    pipe.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Reopening a durable namespace with no crash and no pending repairs is a
+/// plain byte-exact restore: every object readable, every placement intact.
+#[test]
+fn clean_restart_restores_reads_without_repairs() {
+    let root = fresh_dir("clean");
+    let objects: Vec<(String, Vec<u8>)> = (0..5)
+        .map(|i| {
+            let name = format!("/clean/obj-{i}");
+            let bytes = (0..20_000 + i * 3_000)
+                .map(|b| ((b * 7 + i) % 251) as u8)
+                .collect();
+            (name, bytes)
+        })
+        .collect();
+    {
+        let pipe = builder(&root).build().unwrap();
+        for (name, bytes) in &objects {
+            pipe.put(name, bytes).unwrap();
+        }
+        pipe.shutdown();
+    }
+    let pipe = builder(&root).build().unwrap();
+    assert_eq!(pipe.meta().object_count(), objects.len());
+    for (name, bytes) in &objects {
+        assert_eq!(&pipe.get(name).unwrap(), bytes, "{name}");
+    }
+    assert!(pipe.meta().pending_repairs().is_empty());
+    pipe.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
