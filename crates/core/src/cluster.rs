@@ -15,7 +15,7 @@ use ecpipe_sync::RwLock;
 use crate::lock_order;
 
 use ecc::stripe::{BlockId, StripeId};
-use simnet::NodeId;
+use simnet::{NodeId, Topology};
 
 use ecc::ErasureCode;
 
@@ -34,6 +34,11 @@ pub struct Cluster {
     stores: Vec<Arc<dyn BlockStore>>,
     /// Lock class: `cluster.placements` ([`lock_order::CLUSTER_PLACEMENTS`]).
     placements: RwLock<HashMap<StripeId, Vec<NodeId>>>,
+    /// The network topology the nodes live in, when one is modeled. Set
+    /// before the cluster is handed to a manager and immutable afterwards;
+    /// repair planning consults it for rack-aware and weighted path
+    /// selection.
+    topology: Option<Arc<Topology>>,
 }
 
 impl Cluster {
@@ -42,7 +47,33 @@ impl Cluster {
         Ok(Cluster {
             stores: backend.build()?,
             placements: RwLock::new(&lock_order::CLUSTER_PLACEMENTS, HashMap::new()),
+            topology: None,
         })
+    }
+
+    /// Attaches a network topology (racks, link bandwidths) to the cluster,
+    /// enabling topology-aware repair planning
+    /// ([`PathPolicy`](crate::manager::PathPolicy)). Must describe at least
+    /// every node of the cluster. Call before handing the cluster to a
+    /// manager — ownership moves there, so the topology is immutable for
+    /// the manager's lifetime.
+    pub fn set_topology(&mut self, topology: Arc<Topology>) -> Result<()> {
+        if topology.num_nodes() < self.num_nodes() {
+            return Err(EcPipeError::InvalidRequest {
+                reason: format!(
+                    "topology has {} nodes but the cluster has {}",
+                    topology.num_nodes(),
+                    self.num_nodes()
+                ),
+            });
+        }
+        self.topology = Some(topology);
+        Ok(())
+    }
+
+    /// The attached network topology, if any.
+    pub fn topology(&self) -> Option<&Arc<Topology>> {
+        self.topology.as_ref()
     }
 
     /// Creates a cluster of `nodes` in-memory storage nodes.

@@ -23,6 +23,7 @@
 //! simulator.
 
 use bytes::Bytes;
+use ecpipe_sync::OnceFlag;
 use gf256::Gf256;
 
 use ecc::slice::SliceLayout;
@@ -90,6 +91,24 @@ pub fn execute_single<T: Transport + ?Sized>(
     transport: &T,
     strategy: ExecStrategy,
 ) -> Result<Vec<u8>> {
+    execute_single_cancellable(directive, cluster, transport, strategy, &OnceFlag::new())
+}
+
+/// [`execute_single`] with cooperative cancellation: once `cancel` is set,
+/// every stage bails out at its next slice boundary and the repair fails
+/// with an [`EcPipeError::Execution`] error instead of completing.
+///
+/// The repair manager's link watchdog uses this to abandon a stream whose
+/// path crosses a degraded link, then re-plans the repair around it. A
+/// cancelled execution leaves no partial block in any store — only the
+/// requestor writes, and only on success.
+pub fn execute_single_cancellable<T: Transport + ?Sized>(
+    directive: &RepairDirective,
+    cluster: &Cluster,
+    transport: &T,
+    strategy: ExecStrategy,
+    cancel: &OnceFlag,
+) -> Result<Vec<u8>> {
     // Pre-flight: every helper block must still be present. A block that
     // disappeared after planning surfaces as `BlockNotFound`, which lets the
     // caller restart with a different helper set (§3.2).
@@ -99,17 +118,21 @@ pub fn execute_single<T: Transport + ?Sized>(
         }
     }
     match strategy {
-        ExecStrategy::Conventional => run_conventional(directive, cluster, transport),
-        ExecStrategy::Ppr => run_ppr(directive, cluster, transport),
+        ExecStrategy::Conventional => run_conventional(directive, cluster, transport, cancel),
+        ExecStrategy::Ppr => run_ppr(directive, cluster, transport, cancel),
         ExecStrategy::RepairPipelining => {
-            run_pipeline(directive, cluster, transport, directive.layout)
+            run_pipeline(directive, cluster, transport, directive.layout, cancel)
         }
         ExecStrategy::BlockPipeline => {
             let block_layout =
                 SliceLayout::new(directive.layout.block_size, directive.layout.block_size);
-            run_pipeline(directive, cluster, transport, block_layout)
+            run_pipeline(directive, cluster, transport, block_layout, cancel)
         }
     }
+}
+
+fn cancelled_error() -> EcPipeError {
+    execution_error("repair cancelled mid-stream")
 }
 
 /// Slice-level (or block-level) pipelining along the helper path.
@@ -118,6 +141,7 @@ fn run_pipeline<T: Transport + ?Sized>(
     cluster: &Cluster,
     transport: &T,
     layout: SliceLayout,
+    cancel: &OnceFlag,
 ) -> Result<Vec<u8>> {
     let slices = layout.slice_count();
     let path = &directive.path;
@@ -145,6 +169,9 @@ fn run_pipeline<T: Transport + ?Sized>(
             let pool = pool.clone();
             handles.push(scope.spawn(move || -> Result<()> {
                 for j in 0..slices {
+                    if cancel.is_set() {
+                        return Err(cancelled_error());
+                    }
                     let local = store.get_range(block, layout.slice_range(j))?;
                     let mut partial = pool.take(local.len());
                     gf256::mul_slice(Gf256::new(coeff), &local, &mut partial);
@@ -165,6 +192,10 @@ fn run_pipeline<T: Transport + ?Sized>(
         let mut out = vec![0u8; layout.block_size];
         let mut stalled = false;
         for _ in 0..slices {
+            if cancel.is_set() {
+                stalled = true;
+                break;
+            }
             match rx.recv() {
                 Some(msg) => out[layout.slice_range(msg.index)].copy_from_slice(&msg.data),
                 None => {
@@ -192,6 +223,7 @@ fn run_conventional<T: Transport + ?Sized>(
     directive: &RepairDirective,
     cluster: &Cluster,
     transport: &T,
+    cancel: &OnceFlag,
 ) -> Result<Vec<u8>> {
     let layout = directive.layout;
     let slices = layout.slice_count();
@@ -206,6 +238,9 @@ fn run_conventional<T: Transport + ?Sized>(
             let store = cluster.store(node).clone();
             handles.push(scope.spawn(move || -> Result<()> {
                 for j in 0..slices {
+                    if cancel.is_set() {
+                        return Err(cancelled_error());
+                    }
                     let local = store.get_range(block, layout.slice_range(j))?;
                     tx.send(SliceMsg::new(j, local).tagged(stripe, repair))?;
                 }
@@ -217,6 +252,10 @@ fn run_conventional<T: Transport + ?Sized>(
         let mut stalled = false;
         'links: for (rx, coeff) in receivers {
             for _ in 0..slices {
+                if cancel.is_set() {
+                    stalled = true;
+                    break 'links;
+                }
                 let Some(msg) = rx.recv() else {
                     stalled = true;
                     // Breaking drops the remaining receivers, so the other
@@ -243,6 +282,7 @@ fn run_ppr<T: Transport + ?Sized>(
     directive: &RepairDirective,
     cluster: &Cluster,
     transport: &T,
+    cancel: &OnceFlag,
 ) -> Result<Vec<u8>> {
     let layout = directive.layout;
     let slices = layout.slice_count();
@@ -301,6 +341,9 @@ fn run_ppr<T: Transport + ?Sized>(
                         // is a view into the same allocation.
                         let sender_bytes = Bytes::from(sender_partial);
                         for j in 0..slices {
+                            if cancel.is_set() {
+                                return Err(cancelled_error());
+                            }
                             let data = sender_bytes.slice(layout.slice_range(j));
                             tx.send(SliceMsg::new(j, data).tagged(stripe, repair))?;
                         }
@@ -308,6 +351,9 @@ fn run_ppr<T: Transport + ?Sized>(
                     });
                     let recv_handle = scope.spawn(move || -> Result<(simnet::NodeId, Vec<u8>)> {
                         for _ in 0..slices {
+                            if cancel.is_set() {
+                                return Err(cancelled_error());
+                            }
                             let msg = rx
                                 .recv()
                                 .ok_or_else(|| execution_error("sender stopped early"))?;
@@ -662,6 +708,36 @@ mod tests {
             ExecStrategy::RepairPipelining,
         );
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn cancelled_execution_fails_without_storing_anything() {
+        for strategy in [
+            ExecStrategy::Conventional,
+            ExecStrategy::Ppr,
+            ExecStrategy::RepairPipelining,
+            ExecStrategy::BlockPipeline,
+        ] {
+            let code: Arc<dyn ErasureCode> = Arc::new(ReedSolomon::new(6, 4).unwrap());
+            let (cluster, mut coordinator, _data, stripe) = setup(code);
+            cluster.erase_block(stripe, 1);
+            let directive = coordinator
+                .plan_single_repair(stripe, 1, 7, &[], SelectionPolicy::CodeDefault)
+                .unwrap();
+            let transport = ChannelTransport::new();
+            let cancel = OnceFlag::new();
+            cancel.set();
+            let result =
+                execute_single_cancellable(&directive, &cluster, &transport, strategy, &cancel);
+            assert!(
+                matches!(result, Err(EcPipeError::Execution { .. })),
+                "strategy {strategy:?} must fail once cancelled"
+            );
+            assert!(
+                !cluster.store(7).contains(ecc::stripe::BlockId::new(0, 1)),
+                "a cancelled repair must leave no partial block"
+            );
+        }
     }
 
     #[test]

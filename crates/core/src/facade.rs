@@ -54,14 +54,14 @@ use ecc::slice::SliceLayout;
 use ecc::stripe::StripeId;
 use ecc::{ErasureCode, ReedSolomon};
 use ecpipe_meta::{MetaBackend, MetaConfig, MetaRouter};
-use simnet::NodeId;
+use simnet::{NodeId, Topology};
 
 use crate::cluster::Cluster;
 use crate::coordinator::{Coordinator, ObjectMeta};
 use crate::exec::ExecStrategy;
 use crate::manager::{
-    ManagerConfig, ManagerReport, NodeHealth, RepairManager, RepairPriority, RepairRequest,
-    ScrubConfig, ScrubCycle, Scrubber,
+    LinkWatchConfig, ManagerConfig, ManagerReport, NodeHealth, PathPolicy, RepairManager,
+    RepairPriority, RepairRequest, ScrubConfig, ScrubCycle, Scrubber,
 };
 use crate::store::StoreBackend;
 use crate::transport::{AnyTransport, ChannelTransport, TcpTransport};
@@ -92,6 +92,7 @@ pub struct EcPipeBuilder {
     backend: Option<StoreBackend>,
     transport: TransportChoice,
     rate_limit: Option<u64>,
+    topology: Option<Topology>,
     manager: ManagerConfig,
     meta_backend: MetaBackend,
     meta_shards: usize,
@@ -107,6 +108,7 @@ impl Default for EcPipeBuilder {
             backend: None,
             transport: TransportChoice::Channel,
             rate_limit: None,
+            topology: None,
             manager: ManagerConfig::default(),
             meta_backend: MetaBackend::Ephemeral,
             meta_shards: MetaConfig::DEFAULT_SHARDS,
@@ -177,6 +179,40 @@ impl EcPipeBuilder {
         self
     }
 
+    /// Attaches a network topology: racks, per-node and per-link bandwidths.
+    ///
+    /// The topology does three things at build time. It seeds the manager's
+    /// [`LinkTelemetry`](crate::telemetry::LinkTelemetry) layer, which turns
+    /// on the topology-aware [`PathPolicy`] variants and the mid-stream link
+    /// watchdog. It is stored on the [`Cluster`] so repair planning can ask
+    /// which rack a node lives in. And — unless a flat
+    /// [`rate_limit`](Self::rate_limit) was set, which takes precedence —
+    /// the transport is shaped per-link to the topology's bandwidths, so a
+    /// slow cross-rack link is actually slow on the wire.
+    ///
+    /// The topology must cover at least as many nodes as the store backend.
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Chooses how repair helpers are selected and ordered. The topology-
+    /// aware policies need [`topology`](Self::topology) to be set; without
+    /// one they fall back to plain LRU selection.
+    pub fn path_policy(mut self, policy: PathPolicy) -> Self {
+        self.manager.path_policy = policy;
+        self
+    }
+
+    /// Enables the mid-stream link watchdog: a repair whose links fall
+    /// below the configured fraction of their nominal bandwidth is
+    /// cancelled and re-planned around the degraded link. Needs
+    /// [`topology`](Self::topology) to be set to take effect.
+    pub fn link_watch(mut self, watch: LinkWatchConfig) -> Self {
+        self.manager.link_watch = Some(watch);
+        self
+    }
+
     /// Replaces the repair-manager configuration wholesale.
     ///
     /// `relocate_on_success` is forced on at build time: the data path
@@ -239,7 +275,15 @@ impl EcPipeBuilder {
                 ),
             });
         }
-        let cluster = Cluster::new(backend)?;
+        let mut cluster = Cluster::new(backend)?;
+        let topology = match self.topology {
+            Some(topology) => {
+                let topology = Arc::new(topology);
+                cluster.set_topology(topology.clone())?;
+                Some(topology)
+            }
+            None => None,
+        };
         let meta = Arc::new(MetaRouter::open(
             MetaConfig::new(self.meta_backend).with_shards(self.meta_shards),
         )?);
@@ -271,15 +315,23 @@ impl EcPipeBuilder {
         if config.auto_requestors.is_empty() {
             config.auto_requestors = (0..nodes).collect();
         }
-        let transport = match (self.transport, self.rate_limit) {
-            (TransportChoice::Channel, None) => AnyTransport::from(ChannelTransport::new()),
-            (TransportChoice::Channel, Some(rate)) => {
+        // A flat rate limit takes precedence over topology shaping: an
+        // explicit `rate_limit` call is the stronger signal of intent.
+        let transport = match (self.transport, self.rate_limit, &topology) {
+            (TransportChoice::Channel, Some(rate), _) => {
                 AnyTransport::from(ChannelTransport::with_rate_limit(rate))
             }
-            (TransportChoice::Tcp, None) => AnyTransport::from(TcpTransport::new()),
-            (TransportChoice::Tcp, Some(rate)) => {
+            (TransportChoice::Channel, None, Some(topology)) => {
+                AnyTransport::from(ChannelTransport::with_topology(topology.clone()))
+            }
+            (TransportChoice::Channel, None, None) => AnyTransport::from(ChannelTransport::new()),
+            (TransportChoice::Tcp, Some(rate), _) => {
                 AnyTransport::from(TcpTransport::with_rate_limit(rate))
             }
+            (TransportChoice::Tcp, None, Some(topology)) => {
+                AnyTransport::from(TcpTransport::with_topology(topology.clone()))
+            }
+            (TransportChoice::Tcp, None, None) => AnyTransport::from(TcpTransport::new()),
         };
         let manager = RepairManager::start(coordinator, cluster, transport, config);
         // Recovery half 2: re-drive the repairs a previous process had
@@ -822,6 +874,43 @@ mod tests {
             .store(StoreBackend::memory(5))
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_a_topology_smaller_than_the_cluster() {
+        assert!(EcPipeBuilder::new()
+            .code(6, 4)
+            .store(StoreBackend::memory(8))
+            .topology(Topology::flat(6, simnet::GBIT))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn topology_and_weighted_policy_heal_byte_exact() {
+        let pipe = EcPipeBuilder::new()
+            .code(6, 4)
+            .block_size(4096)
+            .slice_size(512)
+            .store(StoreBackend::memory(8))
+            .topology(Topology::rack_based(&[4, 4], simnet::GBIT, simnet::GBIT))
+            .path_policy(PathPolicy::Weighted)
+            .build()
+            .unwrap();
+        let data = pattern(4 * 4096, 11);
+        let meta = pipe.put("/w", &data).unwrap();
+        pipe.erase_block(meta.stripes[0], 2);
+        assert_eq!(pipe.get("/w").unwrap(), data);
+        let report = pipe.shutdown();
+        assert_eq!(report.blocks_repaired, 1);
+        // The weighted planner stamped the chosen path and its bottleneck.
+        let outcome = &report.outcomes[0];
+        assert_eq!(outcome.path.len(), 4);
+        assert!(outcome.bottleneck.is_some());
+        assert_eq!(
+            report.network_bytes,
+            report.link_bytes.values().sum::<u64>()
+        );
     }
 
     #[test]

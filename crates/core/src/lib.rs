@@ -90,6 +90,7 @@ pub mod lock_order;
 pub mod manager;
 pub mod recovery;
 mod store;
+pub mod telemetry;
 pub mod transport;
 
 pub use buf::{BufPool, PooledBuf};
@@ -107,11 +108,15 @@ pub use facade::{
 };
 pub use integrity::{BlockChecksums, ChecksummedStore, DEFAULT_CHUNK_SIZE};
 pub use manager::{
-    ManagerConfig, ManagerReport, NodeHealth, RepairManager, RepairPriority, RepairRequest,
-    ScrubConfig, ScrubCycle, Scrubber,
+    LinkWatchConfig, ManagerConfig, ManagerReport, NodeHealth, PathPolicy, RepairManager,
+    RepairOutcome, RepairPriority, RepairRequest, ReplanEvent, ReplanReason, ScrubConfig,
+    ScrubCycle, Scrubber,
 };
 pub use store::{BlockStore, FileStore, MemoryStore, StoreBackend};
+pub use telemetry::{LinkTelemetry, TelemetryConfig};
 pub use transport::{AnyTransport, ChannelTransport, TcpTransport, Transport, TransportError};
+
+pub use simnet::Topology;
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, EcPipeError>;

@@ -76,6 +76,14 @@ lock_class!(
 );
 
 lock_class!(
+    /// [`LinkTelemetry`](crate::telemetry::LinkTelemetry) per-pair EWMA
+    /// throughput state. Consulted by planning closures under the
+    /// coordinator lock; `observe` holds it while snapshotting transport
+    /// counters, so it precedes [`TRANSPORT_STATS`].
+    pub MANAGER_TELEMETRY = ("manager.telemetry", rank = 46)
+);
+
+lock_class!(
     /// Transport [`StatsRegistry`](crate::transport::StatsRegistry) link
     /// table.
     pub TRANSPORT_STATS = ("transport.stats", rank = 50)
@@ -135,6 +143,14 @@ lock_class!(
     /// Leaf: taken for a push/pop only, with nothing held and holding
     /// nothing.
     pub BUF_POOL = ("buf.pool", rank = 76)
+);
+
+lock_class!(
+    /// Transport `Shaper` bucket map (per-directed-pair token buckets under
+    /// topology shaping). Taken while opening links and when re-rating a
+    /// pair, which touches bucket state — so it precedes
+    /// [`TRANSPORT_TOKEN_BUCKET`].
+    pub TRANSPORT_SHAPER = ("transport.shaper", rank = 78)
 );
 
 lock_class!(

@@ -8,13 +8,15 @@
 //! time and network bytes.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::time::Duration;
 
 use ecc::stripe::{BlockId, StripeId};
 use ecpipe_sync::Mutex;
-use simnet::NodeId;
+use simnet::{NodeId, Topology};
 
 use crate::lock_order;
+use crate::transport::LinkSnapshot;
 
 use super::queue::RepairPriority;
 
@@ -67,6 +69,63 @@ pub struct RepairOutcome {
     pub started_seq: usize,
     /// Global completion order (1-based).
     pub finished_seq: usize,
+    /// The helper nodes the repair finally streamed over, in pipeline order
+    /// (the requestor, listed separately, terminates the path).
+    pub path: Vec<NodeId>,
+    /// The planner's bottleneck-weight estimate for the chosen path
+    /// (seconds per byte, lower is better). `Some` only under
+    /// [`PathPolicy::Weighted`](super::PathPolicy::Weighted).
+    pub bottleneck: Option<f64>,
+}
+
+/// Why one repair attempt was abandoned and the repair re-planned (or, for
+/// [`ReplanReason::PlanningFallback`], why a topology-aware plan degraded
+/// to flat selection).
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplanReason {
+    /// A helper's block vanished mid-flight; the node earned a liveness
+    /// strike and the repair was re-planned around it.
+    HelperLost,
+    /// A helper served a block that failed checksum verification; the block
+    /// was excluded (no strike — the node itself is healthy) and an
+    /// in-place corruption repair was queued.
+    CorruptHelper,
+    /// The link watchdog measured a path link below its degradation
+    /// threshold and cancelled the stream; the repair was re-planned with
+    /// the slow link's telemetry folded in.
+    LinkDegraded,
+    /// Topology-aware selection had too few candidates (or no feasible
+    /// path) and fell back to flat LRU selection for this attempt. Not a
+    /// re-execution: the attempt still ran, just without the topology.
+    PlanningFallback,
+}
+
+impl fmt::Display for ReplanReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            ReplanReason::HelperLost => "helper lost",
+            ReplanReason::CorruptHelper => "corrupt helper",
+            ReplanReason::LinkDegraded => "link degraded",
+            ReplanReason::PlanningFallback => "planning fallback",
+        };
+        f.write_str(label)
+    }
+}
+
+/// One re-plan (or planning-fallback) event, in occurrence order, so a
+/// report shows not just *how many* times repairs re-planned but *why*.
+#[derive(Debug, Clone)]
+pub struct ReplanEvent {
+    /// The stripe whose repair re-planned.
+    pub stripe: StripeId,
+    /// Index of the block being reconstructed.
+    pub failed: usize,
+    /// What triggered the re-plan.
+    pub reason: ReplanReason,
+    /// The node held responsible — the sick helper, or the endpoint blamed
+    /// for a degraded link — when one is identifiable.
+    pub node: Option<NodeId>,
 }
 
 /// A repair the manager gave up on, so an operator can tell from the
@@ -118,8 +177,12 @@ pub struct ManagerReport {
     pub bytes_repaired: usize,
     /// Blocks reconstructed per requestor node.
     pub per_requestor: HashMap<NodeId, usize>,
-    /// Bytes moved over the transport by this run.
+    /// Bytes moved over the transport by this run: always the sum of
+    /// [`link_bytes`](Self::link_bytes).
     pub network_bytes: u64,
+    /// Bytes moved per directed link by this run, so topology experiments
+    /// can tell cross-rack traffic from in-rack traffic.
+    pub link_bytes: HashMap<(NodeId, NodeId), u64>,
     /// Elapsed wall time of the run (first enqueue to last completion for
     /// batches; start to shutdown for the daemon).
     pub wall_time: Duration,
@@ -136,8 +199,11 @@ pub struct ManagerReport {
     pub corruption_wait: WaitStats,
     /// Queue-wait statistics for background repairs.
     pub background_wait: WaitStats,
-    /// Total re-plans across all repairs (helpers lost mid-flight).
+    /// Total re-plans across all repairs (helpers lost mid-flight, corrupt
+    /// helper blocks, degraded links).
     pub replans: usize,
+    /// Every re-plan and planning-fallback event, in occurrence order.
+    pub replan_events: Vec<ReplanEvent>,
     /// Repairs that failed even after re-planning (daemon mode only; the
     /// batch engine aborts on the first failure instead).
     pub failed_repairs: usize,
@@ -170,6 +236,60 @@ impl ManagerReport {
     pub fn corruption_detected(&self) -> usize {
         self.scrub_cycles.iter().map(|c| c.corrupt.len()).sum()
     }
+
+    /// Bytes this run moved across rack boundaries under `topology` — the
+    /// cost the paper's rack-aware path selection (§4.2) minimizes.
+    pub fn cross_rack_bytes(&self, topology: &Topology) -> u64 {
+        self.link_bytes
+            .iter()
+            .filter(|((src, dst), _)| topology.is_cross_rack(*src, *dst))
+            .map(|(_, bytes)| bytes)
+            .sum()
+    }
+
+    /// The re-plan events matching one reason.
+    pub fn replans_because(&self, reason: ReplanReason) -> usize {
+        self.replan_events
+            .iter()
+            .filter(|e| e.reason == reason)
+            .count()
+    }
+}
+
+/// Per-directed-link bytes moved since `baseline`, from two
+/// [`StatsRegistry`](crate::transport::StatsRegistry) snapshots. Links that
+/// moved nothing are omitted.
+pub(crate) fn link_bytes_since(
+    baseline: &HashMap<(NodeId, NodeId), LinkSnapshot>,
+    now: HashMap<(NodeId, NodeId), LinkSnapshot>,
+) -> HashMap<(NodeId, NodeId), u64> {
+    now.into_iter()
+        .filter_map(|(pair, snap)| {
+            let before = baseline.get(&pair).map(|s| s.bytes).unwrap_or(0);
+            let delta = snap.bytes.saturating_sub(before);
+            (delta > 0).then_some((pair, delta))
+        })
+        .collect()
+}
+
+/// Everything the worker knows about one finished repair, handed to
+/// [`MetricsCollector::record_success`] as a bundle.
+pub(crate) struct SuccessRecord<'a> {
+    pub(crate) stripe: StripeId,
+    pub(crate) failed: usize,
+    pub(crate) requestor: NodeId,
+    pub(crate) priority: RepairPriority,
+    pub(crate) queue_wait: Duration,
+    pub(crate) duration: Duration,
+    pub(crate) replans: usize,
+    pub(crate) started_seq: usize,
+    pub(crate) bytes: usize,
+    /// Every node that held a role (helpers + requestor).
+    pub(crate) roles: &'a [NodeId],
+    /// The helper path of the final, successful attempt.
+    pub(crate) path: Vec<NodeId>,
+    /// The weighted planner's bottleneck estimate, when one was computed.
+    pub(crate) bottleneck: Option<f64>,
 }
 
 /// Shared, thread-safe accumulator behind a [`ManagerReport`].
@@ -208,47 +328,41 @@ impl MetricsCollector {
     }
 
     /// Records a successful repair.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn record_success(
-        &self,
-        stripe: StripeId,
-        failed: usize,
-        requestor: NodeId,
-        priority: RepairPriority,
-        queue_wait: Duration,
-        duration: Duration,
-        replans: usize,
-        started_seq: usize,
-        bytes: usize,
-        role_nodes: &[NodeId],
-    ) {
+    pub(crate) fn record_success(&self, success: SuccessRecord<'_>) {
         let mut inner = self.inner.lock();
         inner.finished += 1;
         let finished_seq = inner.finished;
         let report = &mut inner.report;
         report.blocks_repaired += 1;
-        report.bytes_repaired += bytes;
-        *report.per_requestor.entry(requestor).or_default() += 1;
-        for &node in role_nodes {
+        report.bytes_repaired += success.bytes;
+        *report.per_requestor.entry(success.requestor).or_default() += 1;
+        for &node in success.roles {
             *report.node_load.entry(node).or_default() += 1;
         }
-        match priority {
-            RepairPriority::DegradedRead => report.degraded_wait.record(queue_wait),
-            RepairPriority::Corruption => report.corruption_wait.record(queue_wait),
-            RepairPriority::Background => report.background_wait.record(queue_wait),
+        match success.priority {
+            RepairPriority::DegradedRead => report.degraded_wait.record(success.queue_wait),
+            RepairPriority::Corruption => report.corruption_wait.record(success.queue_wait),
+            RepairPriority::Background => report.background_wait.record(success.queue_wait),
         }
-        report.replans += replans;
+        report.replans += success.replans;
         report.outcomes.push(RepairOutcome {
-            stripe,
-            failed,
-            requestor,
-            priority,
-            queue_wait,
-            duration,
-            replans,
-            started_seq,
+            stripe: success.stripe,
+            failed: success.failed,
+            requestor: success.requestor,
+            priority: success.priority,
+            queue_wait: success.queue_wait,
+            duration: success.duration,
+            replans: success.replans,
+            started_seq: success.started_seq,
             finished_seq,
+            path: success.path,
+            bottleneck: success.bottleneck,
         });
+    }
+
+    /// Appends one re-plan event in occurrence order.
+    pub(crate) fn record_replan(&self, event: ReplanEvent) {
+        self.inner.lock().report.replan_events.push(event);
     }
 
     /// Records a repair the manager gave up on (daemon mode), keeping the
@@ -266,12 +380,18 @@ impl MetricsCollector {
         self.inner.lock().report.scrub_cycles.push(cycle);
     }
 
-    /// Snapshots the report, stamping wall time and network bytes.
-    pub(crate) fn report(&self, wall_time: Duration, network_bytes: u64) -> ManagerReport {
+    /// Snapshots the report, stamping wall time and the per-link byte map
+    /// (the total `network_bytes` is derived as its sum).
+    pub(crate) fn report(
+        &self,
+        wall_time: Duration,
+        link_bytes: HashMap<(NodeId, NodeId), u64>,
+    ) -> ManagerReport {
         let inner = self.inner.lock();
         let mut report = inner.report.clone();
         report.wall_time = wall_time;
-        report.network_bytes = network_bytes;
+        report.network_bytes = link_bytes.values().sum();
+        report.link_bytes = link_bytes;
         report
     }
 }
@@ -289,30 +409,40 @@ mod tests {
         m.record_inflight(4, 1);
         m.record_inflight(4, 3);
         m.record_inflight(4, 2);
-        m.record_success(
-            StripeId(0),
-            1,
-            9,
-            RepairPriority::Background,
-            Duration::from_millis(5),
-            Duration::from_millis(20),
-            1,
-            s1,
-            1024,
-            &[4, 5, 9],
-        );
-        m.record_success(
-            StripeId(1),
-            0,
-            8,
-            RepairPriority::DegradedRead,
-            Duration::from_millis(1),
-            Duration::from_millis(10),
-            0,
-            s2,
-            1024,
-            &[4, 6, 8],
-        );
+        m.record_replan(ReplanEvent {
+            stripe: StripeId(0),
+            failed: 1,
+            reason: ReplanReason::HelperLost,
+            node: Some(3),
+        });
+        m.record_success(SuccessRecord {
+            stripe: StripeId(0),
+            failed: 1,
+            requestor: 9,
+            priority: RepairPriority::Background,
+            queue_wait: Duration::from_millis(5),
+            duration: Duration::from_millis(20),
+            replans: 1,
+            started_seq: s1,
+            bytes: 1024,
+            roles: &[4, 5, 9],
+            path: vec![4, 5],
+            bottleneck: None,
+        });
+        m.record_success(SuccessRecord {
+            stripe: StripeId(1),
+            failed: 0,
+            requestor: 8,
+            priority: RepairPriority::DegradedRead,
+            queue_wait: Duration::from_millis(1),
+            duration: Duration::from_millis(10),
+            replans: 0,
+            started_seq: s2,
+            bytes: 1024,
+            roles: &[4, 6, 8],
+            path: vec![4, 6],
+            bottleneck: Some(1.0 / 4096.0),
+        });
         m.record_failure(FailedRepair {
             stripe: StripeId(2),
             failed: 3,
@@ -330,7 +460,10 @@ mod tests {
             still_corrupt: Vec::new(),
             duration: Duration::from_millis(3),
         });
-        let report = m.report(Duration::from_millis(40), 4096);
+        let report = m.report(
+            Duration::from_millis(40),
+            HashMap::from([((4, 5), 1024u64), ((5, 9), 3072u64)]),
+        );
         assert_eq!(report.blocks_repaired, 2);
         assert_eq!(report.scrub_cycles.len(), 1);
         assert_eq!(report.blocks_scrubbed(), 60);
@@ -352,8 +485,39 @@ mod tests {
         assert_eq!(report.background_wait.mean(), Duration::from_millis(5));
         assert_eq!(report.outcomes[0].finished_seq, 1);
         assert_eq!(report.outcomes[1].finished_seq, 2);
+        assert_eq!(report.outcomes[0].path, vec![4, 5]);
+        assert_eq!(report.outcomes[1].bottleneck, Some(1.0 / 4096.0));
+        // network_bytes is derived from the per-link split.
         assert_eq!(report.network_bytes, 4096);
+        assert_eq!(report.link_bytes[&(4, 5)], 1024);
+        assert_eq!(report.link_bytes[&(5, 9)], 3072);
+        assert_eq!(report.replan_events.len(), 1);
+        assert_eq!(report.replans_because(ReplanReason::HelperLost), 1);
+        assert_eq!(report.replans_because(ReplanReason::LinkDegraded), 0);
         assert!(report.wall_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn cross_rack_bytes_follow_the_topology() {
+        let report = ManagerReport {
+            link_bytes: HashMap::from([((0, 1), 100u64), ((0, 4), 40u64), ((5, 1), 7u64)]),
+            ..ManagerReport::default()
+        };
+        let topology = Topology::rack_based(&[4, 4], 100.0, 10.0);
+        assert_eq!(report.cross_rack_bytes(&topology), 47);
+    }
+
+    #[test]
+    fn link_deltas_subtract_the_baseline() {
+        let snap = |bytes| LinkSnapshot {
+            bytes,
+            messages: 1,
+            busy_nanos: 1,
+        };
+        let baseline = HashMap::from([((0, 1), snap(100))]);
+        let now = HashMap::from([((0, 1), snap(150)), ((2, 3), snap(30)), ((4, 5), snap(0))]);
+        let deltas = link_bytes_since(&baseline, now);
+        assert_eq!(deltas, HashMap::from([((0, 1), 50u64), ((2, 3), 30u64)]));
     }
 
     #[test]

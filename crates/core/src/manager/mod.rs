@@ -46,14 +46,16 @@ mod scrub;
 mod workers;
 
 pub use liveness::NodeHealth;
-pub use metrics::{FailedRepair, ManagerReport, RepairOutcome, ScrubCycle, WaitStats};
+pub use metrics::{
+    FailedRepair, ManagerReport, RepairOutcome, ReplanEvent, ReplanReason, ScrubCycle, WaitStats,
+};
 pub use queue::{RepairPriority, RepairRequest};
 pub use scrub::{ScrubConfig, Scrubber};
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ecpipe_sync::Mutex;
 use simnet::NodeId;
@@ -61,10 +63,79 @@ use simnet::NodeId;
 use crate::cluster::Cluster;
 use crate::exec::ExecStrategy;
 use crate::lock_order;
-use crate::transport::Transport;
+use crate::telemetry::TelemetryConfig;
+use crate::transport::{LinkSnapshot, Transport};
 use crate::{Coordinator, EcPipeError, Result};
 
 use workers::{worker_loop, EngineState};
+
+/// How the planner picks (and orders) the helpers of a repair path.
+///
+/// The topology-aware policies need a [`Topology`](simnet::Topology)
+/// attached to the cluster (see
+/// [`Cluster::set_topology`](crate::Cluster::set_topology) or
+/// [`EcPipeBuilder::topology`](crate::EcPipeBuilder::topology)); without one
+/// they degrade to [`PathPolicy::Lru`]. They also fall back per attempt —
+/// recorded as a [`ReplanReason::PlanningFallback`] event — when too few
+/// candidate helpers remain for a topology-shaped choice.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathPolicy {
+    /// Flat least-recently-used helper selection (§3.3): balances load, is
+    /// blind to racks and link speeds. The historical default.
+    #[default]
+    Lru,
+    /// Algorithm 1 (§4.2): pick and order helpers to minimize cross-rack
+    /// transmissions, keeping same-rack helpers adjacent in the pipeline.
+    RackAware,
+    /// Algorithm 2 (§4.3): maximize the path's bottleneck bandwidth over
+    /// live [`LinkTelemetry`](crate::LinkTelemetry) weights, falling back to
+    /// static topology weights for links that are still cold.
+    Weighted,
+}
+
+impl std::fmt::Display for PathPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let label = match self {
+            PathPolicy::Lru => "lru",
+            PathPolicy::RackAware => "rack-aware",
+            PathPolicy::Weighted => "weighted",
+        };
+        f.write_str(label)
+    }
+}
+
+/// Tuning for the mid-stream link watchdog: while a repair streams, the
+/// worker samples the bytes its path links actually moved and cancels the
+/// stream when a link runs below a fraction of its nominal (topology)
+/// bandwidth — a slow link is then handled like a sick helper: the repair
+/// re-plans ([`ReplanReason::LinkDegraded`]) with the slow link's measured
+/// throughput already folded into the telemetry, so the new path routes
+/// around it. Requires a cluster topology; off by default
+/// ([`ManagerConfig::link_watch`] is `None`).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkWatchConfig {
+    /// Measurement warm-up: a link is judged only once it has been
+    /// streaming (moving bytes) for this long, so pipeline fill and
+    /// startup jitter cannot cancel a healthy repair.
+    pub grace: Duration,
+    /// How often the watchdog samples the per-link byte counters.
+    pub tick: Duration,
+    /// A link is degraded when its observed throughput (bytes moved over
+    /// the wall time since its first byte) drops below this fraction of
+    /// its nominal topology bandwidth.
+    pub degraded_below: f64,
+}
+
+impl Default for LinkWatchConfig {
+    fn default() -> Self {
+        LinkWatchConfig {
+            grace: Duration::from_millis(150),
+            tick: Duration::from_millis(25),
+            degraded_below: 0.5,
+        }
+    }
+}
 
 /// Tuning knobs for the repair manager.
 #[derive(Debug, Clone)]
@@ -93,6 +164,15 @@ pub struct ManagerConfig {
     /// later plans treat the reconstructed copy as available. Off by
     /// default, matching the historical recovery loop.
     pub relocate_on_success: bool,
+    /// How helpers are picked and ordered. The topology-aware policies need
+    /// a topology on the cluster; without one (or with too few candidates)
+    /// they degrade to [`PathPolicy::Lru`].
+    pub path_policy: PathPolicy,
+    /// Tuning for the live link-telemetry layer the weighted policy and the
+    /// link watchdog plan against.
+    pub telemetry: TelemetryConfig,
+    /// Mid-stream link watchdog; `None` (the default) disables it.
+    pub link_watch: Option<LinkWatchConfig>,
 }
 
 impl Default for ManagerConfig {
@@ -106,6 +186,9 @@ impl Default for ManagerConfig {
             known_dead: Vec::new(),
             auto_requestors: Vec::new(),
             relocate_on_success: false,
+            path_policy: PathPolicy::Lru,
+            telemetry: TelemetryConfig::default(),
+            link_watch: None,
         }
     }
 }
@@ -134,6 +217,18 @@ impl ManagerConfig {
         self.per_node_inflight_cap = cap;
         self
     }
+
+    /// Sets the helper-selection policy.
+    pub fn with_path_policy(mut self, policy: PathPolicy) -> Self {
+        self.path_policy = policy;
+        self
+    }
+
+    /// Enables the mid-stream link watchdog.
+    pub fn with_link_watch(mut self, watch: LinkWatchConfig) -> Self {
+        self.link_watch = Some(watch);
+        self
+    }
 }
 
 /// Runs a fixed batch of repairs to completion on `config.workers` scoped
@@ -149,13 +244,18 @@ pub fn run_batch<T: Transport + ?Sized>(
     config: &ManagerConfig,
     requests: Vec<RepairRequest>,
 ) -> Result<ManagerReport> {
-    let engine = EngineState::new(config, true, coordinator.meta().clone());
+    let engine = EngineState::new(
+        config,
+        true,
+        coordinator.meta().clone(),
+        cluster.topology().cloned(),
+    );
     for request in requests {
         // The queue cannot be closed yet, so only duplicates are dropped.
         let _ = engine.submit(request)?;
     }
     engine.queue.close();
-    let baseline_bytes = transport.total_bytes();
+    let baseline = transport.stats().snapshot();
     let started = Instant::now();
     let coordinator = Mutex::new(&lock_order::COORDINATOR, coordinator);
     std::thread::scope(|scope| {
@@ -166,9 +266,10 @@ pub fn run_batch<T: Transport + ?Sized>(
     if let Some(error) = engine.take_error() {
         return Err(error);
     }
-    Ok(engine
-        .metrics
-        .report(started.elapsed(), transport.total_bytes() - baseline_bytes))
+    Ok(engine.metrics.report(
+        started.elapsed(),
+        metrics::link_bytes_since(&baseline, transport.stats().snapshot()),
+    ))
 }
 
 /// Builds the background repair requests for recovering every block that
@@ -263,7 +364,7 @@ pub struct RepairManager<T: Transport + Send + Sync + 'static> {
     shared: Arc<DaemonShared<T>>,
     workers: Vec<JoinHandle<()>>,
     started: Instant,
-    baseline_bytes: u64,
+    baseline: HashMap<(NodeId, NodeId), LinkSnapshot>,
 }
 
 impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
@@ -275,10 +376,11 @@ impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
         transport: T,
         config: ManagerConfig,
     ) -> Self {
-        let baseline_bytes = transport.total_bytes();
+        let baseline = transport.stats().snapshot();
         let meta = coordinator.meta().clone();
+        let topology = cluster.topology().cloned();
         let shared = Arc::new(DaemonShared {
-            engine: EngineState::new(&config, false, meta),
+            engine: EngineState::new(&config, false, meta, topology),
             coordinator: Mutex::new(&lock_order::COORDINATOR, coordinator),
             cluster,
             transport,
@@ -305,7 +407,7 @@ impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
             shared,
             workers,
             started: Instant::now(),
-            baseline_bytes,
+            baseline,
         }
     }
 
@@ -457,7 +559,7 @@ impl<T: Transport + Send + Sync + 'static> RepairManager<T> {
         }
         self.shared.engine.metrics.report(
             self.started.elapsed(),
-            self.shared.transport.total_bytes() - self.baseline_bytes,
+            metrics::link_bytes_since(&self.baseline, self.shared.transport.stats().snapshot()),
         )
     }
 }

@@ -2,13 +2,17 @@
 //! repair loop.
 //!
 //! Every worker runs [`worker_loop`]: pop the most urgent request, plan it
-//! with least-recently-used helper selection (§3.3) while excluding blocks
-//! on dead nodes, pass the chosen nodes through the admission gate (per-node
-//! in-flight caps — the runtime enforcement of the paper's "no overloaded
-//! helper" scheduling), execute, and store the reconstructed block. A helper
-//! whose block vanishes mid-flight earns a liveness strike and the repair is
+//! under the configured [`PathPolicy`] — flat least-recently-used helper
+//! selection (§3.3), rack-aware selection (§4.2) or weighted selection over
+//! live link telemetry (§4.3) — while excluding blocks on dead nodes, pass
+//! the chosen nodes through the admission gate (per-node in-flight caps —
+//! the runtime enforcement of the paper's "no overloaded helper"
+//! scheduling), execute, and store the reconstructed block. A helper whose
+//! block vanishes mid-flight earns a liveness strike and the repair is
 //! re-planned with the survivors, generalizing
-//! [`degraded_read_with_retry`](crate::recovery::degraded_read_with_retry).
+//! [`degraded_read_with_retry`](crate::recovery::degraded_read_with_retry);
+//! with a [`LinkWatchConfig`] set, a path link measured below its nominal
+//! bandwidth is handled the same way, minus the strike.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -20,19 +24,22 @@ use bytes::Bytes;
 use ecc::stripe::BlockId;
 use ecpipe_meta::{MetaRouter, RepairRecord};
 use ecpipe_sync::{Condvar, Mutex, OnceFlag};
-use simnet::NodeId;
+use repair::rack_aware;
+use repair::weighted_path::optimal_path;
+use simnet::{NodeId, Topology};
 
 use crate::cluster::Cluster;
 use crate::coordinator::{RepairDirective, SelectionPolicy};
 use crate::exec;
 use crate::lock_order;
+use crate::telemetry::LinkTelemetry;
 use crate::transport::Transport;
 use crate::{Coordinator, EcPipeError, Result};
 
 use super::liveness::Liveness;
-use super::metrics::{FailedRepair, MetricsCollector};
+use super::metrics::{FailedRepair, MetricsCollector, ReplanEvent, ReplanReason, SuccessRecord};
 use super::queue::{QueuedRepair, RepairQueue, RepairRequest};
-use super::ManagerConfig;
+use super::{ManagerConfig, PathPolicy};
 
 /// Shared access to the coordinator: the batch engine borrows the caller's
 /// `&mut Coordinator`, the daemon owns one — both behind a lock.
@@ -160,6 +167,10 @@ pub(crate) struct EngineState {
     /// repairs here (and resolved on completion), so a durable deployment
     /// re-enqueues whatever a crash interrupted.
     meta: Arc<MetaRouter>,
+    /// Live link telemetry, present when the cluster has a topology
+    /// attached. Topology-aware planning and the link watchdog consult it;
+    /// without it both degrade to the flat behavior.
+    pub(crate) telemetry: Option<LinkTelemetry>,
     /// Simulated power loss: once set, queued work is skipped and finished
     /// work is no longer resolved in the journal — the WAL keeps looking
     /// exactly as it would after `kill -9`.
@@ -167,8 +178,14 @@ pub(crate) struct EngineState {
 }
 
 impl EngineState {
-    pub(crate) fn new(config: &ManagerConfig, fail_fast: bool, meta: Arc<MetaRouter>) -> Self {
+    pub(crate) fn new(
+        config: &ManagerConfig,
+        fail_fast: bool,
+        meta: Arc<MetaRouter>,
+        topology: Option<Arc<Topology>>,
+    ) -> Self {
         EngineState {
+            telemetry: topology.map(|t| LinkTelemetry::new(t, config.telemetry)),
             queue: RepairQueue::new(),
             gate: AdmissionGate::new(config.per_node_inflight_cap),
             liveness: Liveness::new(config.dead_after_misses, &config.known_dead),
@@ -364,6 +381,10 @@ struct Done {
     requestor: NodeId,
     /// Every node that held a role (helpers + requestor).
     roles: Vec<NodeId>,
+    /// The helper path of the final, successful attempt, in pipeline order.
+    path: Vec<NodeId>,
+    /// The weighted planner's bottleneck estimate for that path, if any.
+    bottleneck: Option<f64>,
 }
 
 struct RepairFailure {
@@ -406,18 +427,20 @@ pub(crate) fn worker_loop<C, T>(
         let started = Instant::now();
         match run_one(engine, coord, cluster, transport, config, &job) {
             Ok(done) => {
-                engine.metrics.record_success(
-                    job.request.stripe,
-                    job.request.failed,
-                    done.requestor,
-                    job.request.priority,
+                engine.metrics.record_success(SuccessRecord {
+                    stripe: job.request.stripe,
+                    failed: job.request.failed,
+                    requestor: done.requestor,
+                    priority: job.request.priority,
                     queue_wait,
-                    started.elapsed(),
-                    done.replans,
+                    duration: started.elapsed(),
+                    replans: done.replans,
                     started_seq,
-                    done.bytes,
-                    &done.roles,
-                );
+                    bytes: done.bytes,
+                    roles: &done.roles,
+                    path: done.path,
+                    bottleneck: done.bottleneck,
+                });
             }
             Err(failure) => {
                 if engine.fail_fast {
@@ -440,15 +463,33 @@ pub(crate) fn worker_loop<C, T>(
     }
 }
 
-/// Plans a repair with LRU helper selection, excluding `excluded` block
-/// indices and every block that sits on a dead node.
+/// A planned attempt: the directive plus what the planner knew about it.
+struct PlannedRepair {
+    directive: RepairDirective,
+    /// The weighted planner's bottleneck-weight estimate for the chosen
+    /// path, when one was computed.
+    bottleneck: Option<f64>,
+    /// A topology-aware policy had too few candidates (or no feasible
+    /// path) and this attempt degraded to flat LRU selection.
+    fell_back: bool,
+}
+
+/// Plans a repair under the configured [`PathPolicy`], excluding `excluded`
+/// block indices and every block that sits on a dead node.
+///
+/// The topology-aware policies choose the `k` helpers *and* their pipeline
+/// order up front — rack-aware per Algorithm 1, weighted per Algorithm 2
+/// over the engine's live telemetry — then pin the coordinator's plan to
+/// exactly that set by marking every other index unavailable (so the LRU
+/// truncation never reorders the choice) and applying the path order.
 fn plan_repair<C: CoordHandle>(
     engine: &EngineState,
     coord: &C,
+    config: &ManagerConfig,
     request: &RepairRequest,
     requestor: NodeId,
     excluded: &[usize],
-) -> Result<RepairDirective> {
+) -> Result<PlannedRepair> {
     coord.with(|c| {
         let locations = c.stripe(request.stripe)?.locations.clone();
         let mut unavailable = excluded.to_vec();
@@ -460,13 +501,68 @@ fn plan_repair<C: CoordHandle>(
                 unavailable.push(index);
             }
         }
-        c.plan_single_repair(
+        let mut bottleneck = None;
+        let mut fell_back = false;
+        let chosen: Option<Vec<NodeId>> = match (config.path_policy, &engine.telemetry) {
+            (PathPolicy::Lru, _) | (_, None) => None,
+            (policy, Some(telemetry)) => {
+                let k = c.code().k();
+                // Candidate helpers, mirroring plan_single_repair's filter:
+                // not the failed block, not excluded/dead, not a block the
+                // requestor already holds.
+                let candidates: Vec<NodeId> = locations
+                    .iter()
+                    .enumerate()
+                    .filter(|&(index, &node)| {
+                        index != request.failed
+                            && !unavailable.contains(&index)
+                            && node != requestor
+                    })
+                    .map(|(_, &node)| node)
+                    .collect();
+                let selection = match policy {
+                    PathPolicy::RackAware if candidates.len() >= k => Some(
+                        rack_aware::select_path(telemetry.topology(), requestor, &candidates, k),
+                    ),
+                    PathPolicy::Weighted => {
+                        optimal_path(telemetry, requestor, &candidates, k).map(|sel| {
+                            bottleneck = Some(sel.bottleneck_weight);
+                            sel.path
+                        })
+                    }
+                    _ => None,
+                };
+                fell_back = selection.is_none();
+                selection
+            }
+        };
+        if let Some(order) = &chosen {
+            // Pin the plan to exactly the chosen helpers: every other index
+            // becomes unavailable, leaving plan_single_repair a helper set
+            // of size k in which LRU has nothing left to decide.
+            for (index, node) in locations.iter().enumerate() {
+                if index != request.failed && !unavailable.contains(&index) && !order.contains(node)
+                {
+                    unavailable.push(index);
+                }
+            }
+        }
+        let directive = c.plan_single_repair(
             request.stripe,
             request.failed,
             requestor,
             &unavailable,
             SelectionPolicy::LeastRecentlyUsed,
-        )
+        )?;
+        let directive = match chosen {
+            Some(order) => directive.with_path_order(&order),
+            None => directive,
+        };
+        Ok(PlannedRepair {
+            directive,
+            bottleneck,
+            fell_back,
+        })
     })
 }
 
@@ -537,10 +633,16 @@ where
             }
         }
         let requestor = requestors[requestor_idx];
+        // Fold the transport counters accumulated so far into the telemetry
+        // before planning, so a weighted plan (and the watchdog's re-plan
+        // after a degraded link) sees the freshest throughput estimates.
+        if let Some(telemetry) = &engine.telemetry {
+            telemetry.observe(transport.stats());
+        }
         // Plan fresh on each attempt: after a helper loss the helper set
         // must shrink around the excluded block.
-        let directive = match plan_repair(engine, coord, request, requestor, &excluded) {
-            Ok(d) => d,
+        let planned = match plan_repair(engine, coord, config, request, requestor, &excluded) {
+            Ok(p) => p,
             Err(error @ EcPipeError::Planning(_)) => {
                 if requestor_idx + 1 < requestors.len() {
                     requestor_idx += 1;
@@ -551,13 +653,22 @@ where
             }
             Err(error) => return Err(RepairFailure { error, replans }),
         };
+        if planned.fell_back {
+            engine.metrics.record_replan(ReplanEvent {
+                stripe: request.stripe,
+                failed: request.failed,
+                reason: ReplanReason::PlanningFallback,
+                node: None,
+            });
+        }
+        let directive = planned.directive;
         let mut roles = directive.helper_nodes();
         roles.push(requestor);
         // The whole execution holds one admission slot per involved node;
         // the guard releases them even on failure.
-        let outcome = {
+        let (outcome, slow_link) = {
             let _roles_held = engine.gate.acquire(&roles, &engine.metrics);
-            exec::execute_single(&directive, cluster, transport, config.strategy)
+            execute_watched(engine, config, &directive, cluster, transport)
         };
         match outcome {
             Ok(block) => {
@@ -619,6 +730,8 @@ where
                     bytes: block.len(),
                     replans,
                     requestor,
+                    path: directive.helper_nodes(),
+                    bottleneck: planned.bottleneck,
                     roles,
                 });
             }
@@ -633,6 +746,12 @@ where
                 if let Some(&(node, _, _)) =
                     directive.path.iter().find(|e| e.1.index == block.index)
                 {
+                    engine.metrics.record_replan(ReplanEvent {
+                        stripe: request.stripe,
+                        failed: request.failed,
+                        reason: ReplanReason::HelperLost,
+                        node: Some(node),
+                    });
                     strike(engine, coord, node);
                 }
             }
@@ -649,7 +768,39 @@ where
                 excluded.push(block.index);
                 let holder = coord.with(|c| c.stripe(block.stripe).map(|m| m.node_of(block.index)));
                 if let Ok(holder) = holder {
+                    engine.metrics.record_replan(ReplanEvent {
+                        stripe: request.stripe,
+                        failed: request.failed,
+                        reason: ReplanReason::CorruptHelper,
+                        node: Some(holder),
+                    });
                     engine.submit_corruption(block, holder);
+                }
+            }
+            Err(_cancelled) if slow_link.is_some() && replans < config.max_replans => {
+                // The link watchdog measured a path link below its
+                // degradation threshold and cancelled the stream. Blame the
+                // helper endpoint of the slow hop (the downstream helper,
+                // or the upstream one when the hop ends at the requestor)
+                // and exclude its block — *without* a liveness strike: the
+                // node is healthy, its link is slow. The failed attempt
+                // also pushed bytes through the slow link at the degraded
+                // rate, so the telemetry the re-plan observes has already
+                // collapsed for that pair and a weighted re-plan routes
+                // around it even when the blame heuristic picked the wrong
+                // endpoint.
+                let (src, dst) = slow_link.expect("guarded by slow_link.is_some()");
+                let helpers = directive.helper_nodes();
+                let blamed = if helpers.contains(&dst) { dst } else { src };
+                replans += 1;
+                engine.metrics.record_replan(ReplanEvent {
+                    stripe: request.stripe,
+                    failed: request.failed,
+                    reason: ReplanReason::LinkDegraded,
+                    node: Some(blamed),
+                });
+                if let Some(&(_, block, _)) = directive.path.iter().find(|e| e.0 == blamed) {
+                    excluded.push(block.index);
                 }
             }
             Err(error @ EcPipeError::Execution { .. }) if replans < config.max_replans => {
@@ -670,10 +821,113 @@ where
                 replans += 1;
                 for (node, index) in missing {
                     excluded.push(index);
+                    engine.metrics.record_replan(ReplanEvent {
+                        stripe: request.stripe,
+                        failed: request.failed,
+                        reason: ReplanReason::HelperLost,
+                        node: Some(node),
+                    });
                     strike(engine, coord, node);
                 }
             }
             Err(error) => return Err(RepairFailure { error, replans }),
         }
     }
+}
+
+/// Executes one directive, under the link watchdog when one is configured.
+///
+/// Without a [`LinkWatchConfig`] (or without telemetry) this is exactly
+/// [`exec::execute_single`]. With one, the execution runs on a scoped
+/// thread while this thread samples the bytes each path link moved; once a
+/// link has been streaming for the grace period, observing it below
+/// [`degraded_below`](LinkWatchConfig::degraded_below) × its nominal
+/// topology bandwidth cancels the stream. Returns the execution outcome
+/// plus the slow link, if one was flagged.
+///
+/// The observed rate is bytes moved over *wall time*, not the telemetry's
+/// busy-time EWMA: a fully stalled link accrues no send time, which a
+/// busy-time estimate would never notice. Traffic from concurrent repairs
+/// sharing a link only inflates the observed rate, so sharing cannot flag
+/// a healthy link.
+fn execute_watched<T>(
+    engine: &EngineState,
+    config: &ManagerConfig,
+    directive: &RepairDirective,
+    cluster: &Cluster,
+    transport: &T,
+) -> (Result<Vec<u8>>, Option<(NodeId, NodeId)>)
+where
+    T: Transport + ?Sized,
+{
+    let (Some(watch), Some(telemetry)) = (config.link_watch, engine.telemetry.as_ref()) else {
+        return (
+            exec::execute_single(directive, cluster, transport, config.strategy),
+            None,
+        );
+    };
+    let topology = telemetry.topology();
+    // The directed links the repair streams over: helper-to-helper hops in
+    // pipeline order, then the last hop into the requestor.
+    let helpers = directive.helper_nodes();
+    let mut hops: Vec<(NodeId, NodeId)> = helpers.windows(2).map(|w| (w[0], w[1])).collect();
+    if let Some(&last) = helpers.last() {
+        hops.push((last, directive.requestor));
+    }
+    let baseline: Vec<u64> = hops
+        .iter()
+        .map(|&(src, dst)| transport.link_bytes(src, dst))
+        .collect();
+    let cancel = OnceFlag::new();
+    // A hop is judged from the moment it first moves bytes, not from the
+    // start of the attempt: in a pipelined chain the hop into the requestor
+    // only starts streaming after the pipeline fills, and measuring its
+    // rate over the whole attempt would dilute it below any threshold and
+    // cancel perfectly healthy repairs. A hop that has moved nothing is
+    // still filling (or its helper is dead — the helper-loss path covers
+    // that) and is not judged at all.
+    let mut first_seen: Vec<Option<Instant>> = vec![None; hops.len()];
+    let mut slow = None;
+    let outcome = std::thread::scope(|scope| {
+        let execution = scope.spawn(|| {
+            exec::execute_single_cancellable(
+                directive,
+                cluster,
+                transport,
+                config.strategy,
+                &cancel,
+            )
+        });
+        while !execution.is_finished() {
+            std::thread::sleep(watch.tick);
+            if cancel.is_set() {
+                continue;
+            }
+            let now = Instant::now();
+            for (i, &(src, dst)) in hops.iter().enumerate() {
+                let moved = transport.link_bytes(src, dst).saturating_sub(baseline[i]);
+                if moved == 0 {
+                    continue;
+                }
+                let since = match first_seen[i] {
+                    Some(first) => now.duration_since(first),
+                    None => {
+                        first_seen[i] = Some(now);
+                        continue;
+                    }
+                };
+                if since < watch.grace {
+                    continue;
+                }
+                let observed = moved as f64 / since.as_secs_f64();
+                if observed < watch.degraded_below * topology.bandwidth(src, dst) {
+                    slow = Some((src, dst));
+                    cancel.set();
+                    break;
+                }
+            }
+        }
+        execution.join().expect("repair execution must not panic")
+    });
+    (outcome, slow)
 }

@@ -33,7 +33,7 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use ecpipe_sync::Mutex;
 
-use simnet::NodeId;
+use simnet::{NodeId, Topology};
 
 use crate::lock_order;
 
@@ -41,32 +41,61 @@ mod tcp;
 
 pub use tcp::TcpTransport;
 
+/// The mutable half of a [`TokenBucket`]: the fill level plus the rate,
+/// which can change at runtime ([`TokenBucket::set_rate`]) to model a link
+/// whose capacity degrades mid-stream.
+struct BucketState {
+    tokens: f64,
+    last: Instant,
+    rate: f64,
+    burst: f64,
+}
+
 /// A token bucket limiting one link to `rate` bytes per second. Shared by
 /// both backends: it shapes real socket writes in [`TcpTransport`] and
 /// simulates constrained links in [`ChannelTransport`].
 pub(crate) struct TokenBucket {
-    rate: f64,
-    burst: f64,
     /// Lock class: `transport.token_bucket`
     /// ([`lock_order::TRANSPORT_TOKEN_BUCKET`]).
-    state: Mutex<(f64, Instant)>,
+    state: Mutex<BucketState>,
 }
 
 impl TokenBucket {
+    /// A small burst keeps the shaping fine-grained: the bucket never banks
+    /// more than ~2 ms of line rate while a link is idle (min 2 KiB so tiny
+    /// rates make progress).
+    fn burst_for(rate: f64) -> f64 {
+        (rate / 500.0).max(2048.0)
+    }
+
     pub(crate) fn new(rate: u64) -> Self {
         let rate = rate.max(1) as f64;
-        // A small burst keeps the shaping fine-grained: the bucket never
-        // banks more than ~2 ms of line rate while a link is idle (min
-        // 2 KiB so tiny rates make progress). It also starts empty, so
-        // every byte pays the line rate from the first slice on — both
-        // choices keep measured repair times close to the store-and-forward
-        // timing model of §3.2 instead of letting idle links run ahead.
-        let burst = (rate / 500.0).max(2048.0);
+        // The bucket starts empty, so every byte pays the line rate from the
+        // first slice on — this keeps measured repair times close to the
+        // store-and-forward timing model of §3.2 instead of letting idle
+        // links run ahead.
         TokenBucket {
-            rate,
-            burst,
-            state: Mutex::new(&lock_order::TRANSPORT_TOKEN_BUCKET, (0.0, Instant::now())),
+            state: Mutex::new(
+                &lock_order::TRANSPORT_TOKEN_BUCKET,
+                BucketState {
+                    tokens: 0.0,
+                    last: Instant::now(),
+                    rate,
+                    burst: Self::burst_for(rate),
+                },
+            ),
         }
+    }
+
+    /// Changes the bucket's rate in place, so a link already carrying a
+    /// repair stream slows down (or speeds up) mid-flight. Banked tokens are
+    /// clamped to the new burst, so a rate drop takes effect immediately.
+    pub(crate) fn set_rate(&self, rate: u64) {
+        let rate = rate.max(1) as f64;
+        let mut state = self.state.lock();
+        state.rate = rate;
+        state.burst = Self::burst_for(rate);
+        state.tokens = state.tokens.min(state.burst);
     }
 
     pub(crate) fn take(&self, bytes: usize) {
@@ -75,21 +104,101 @@ impl TokenBucket {
             let wait;
             {
                 let mut state = self.state.lock();
-                let (ref mut tokens, ref mut last) = *state;
                 let now = Instant::now();
-                *tokens =
-                    (*tokens + now.duration_since(*last).as_secs_f64() * self.rate).min(self.burst);
-                *last = now;
-                let grab = need.min(*tokens);
-                *tokens -= grab;
+                let elapsed = now.duration_since(state.last).as_secs_f64();
+                state.tokens = (state.tokens + elapsed * state.rate).min(state.burst);
+                state.last = now;
+                let grab = need.min(state.tokens);
+                state.tokens -= grab;
                 need -= grab;
                 if need <= 0.0 {
                     return;
                 }
-                wait = Duration::from_secs_f64(need.min(self.burst) / self.rate);
+                wait = Duration::from_secs_f64(need.min(state.burst) / state.rate);
             }
             std::thread::sleep(wait);
         }
+    }
+}
+
+/// How a transport shapes its links' bandwidth.
+enum ShaperMode {
+    /// No shaping: links run at memory (or socket) speed.
+    Off,
+    /// Every link gets its own fresh token bucket at one flat rate
+    /// (the historical `with_rate_limit` behavior).
+    Flat(u64),
+    /// Buckets are shared per directed node pair and seeded from the
+    /// topology's bandwidth model, so a slow cross-rack edge throttles every
+    /// stream crossing it — including reused TCP connections, which key by
+    /// the same pair.
+    Topology(Arc<Topology>),
+}
+
+/// Per-transport bandwidth shaping: owns the token buckets links draw from.
+pub(crate) struct Shaper {
+    mode: ShaperMode,
+    /// Lock class: `transport.shaper` ([`lock_order::TRANSPORT_SHAPER`]).
+    buckets: Mutex<HashMap<(NodeId, NodeId), Arc<TokenBucket>>>,
+}
+
+impl Default for Shaper {
+    fn default() -> Self {
+        Shaper::with_mode(ShaperMode::Off)
+    }
+}
+
+impl Shaper {
+    fn with_mode(mode: ShaperMode) -> Self {
+        Shaper {
+            mode,
+            buckets: Mutex::new(&lock_order::TRANSPORT_SHAPER, HashMap::new()),
+        }
+    }
+
+    pub(crate) fn flat(rate: u64) -> Self {
+        Shaper::with_mode(ShaperMode::Flat(rate))
+    }
+
+    pub(crate) fn topology(topology: Arc<Topology>) -> Self {
+        Shaper::with_mode(ShaperMode::Topology(topology))
+    }
+
+    /// The bucket a new link over `src -> dst` should draw from, if any.
+    pub(crate) fn bucket(&self, src: NodeId, dst: NodeId) -> Option<Arc<TokenBucket>> {
+        match &self.mode {
+            ShaperMode::Off => None,
+            // A fresh bucket per link keeps the historical per-link shaping
+            // semantics that the flat-rate timing tests are built on.
+            ShaperMode::Flat(rate) => Some(Arc::new(TokenBucket::new(*rate))),
+            ShaperMode::Topology(topology) => Some(
+                self.buckets
+                    .lock()
+                    .entry((src, dst))
+                    .or_insert_with(|| {
+                        Arc::new(TokenBucket::new(
+                            topology.bandwidth(src, dst).max(1.0) as u64
+                        ))
+                    })
+                    .clone(),
+            ),
+        }
+    }
+
+    /// Re-rates the directed pair's shared bucket (topology mode only),
+    /// affecting streams already in flight over it. Returns whether shaping
+    /// applied — flat and unshaped transports have no per-pair bucket to
+    /// re-rate.
+    pub(crate) fn set_link_rate(&self, src: NodeId, dst: NodeId, bytes_per_sec: u64) -> bool {
+        if !matches!(self.mode, ShaperMode::Topology(_)) {
+            return false;
+        }
+        self.buckets
+            .lock()
+            .entry((src, dst))
+            .or_insert_with(|| Arc::new(TokenBucket::new(bytes_per_sec)))
+            .set_rate(bytes_per_sec);
+        true
     }
 }
 
@@ -162,6 +271,7 @@ impl std::error::Error for TransportError {
 pub struct LinkStats {
     bytes: AtomicU64,
     messages: AtomicU64,
+    busy_nanos: AtomicU64,
 }
 
 impl LinkStats {
@@ -174,6 +284,27 @@ impl LinkStats {
     pub fn messages(&self) -> u64 {
         self.messages.load(Ordering::Relaxed)
     }
+
+    /// Total nanoseconds senders spent inside `send` on this link — queueing,
+    /// token-bucket pacing and socket writes included. Bytes over busy time
+    /// is the link's measured throughput, which is what
+    /// [`LinkTelemetry`](crate::telemetry::LinkTelemetry) folds into its
+    /// EWMA estimates.
+    pub fn busy_nanos(&self) -> u64 {
+        self.busy_nanos.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time copy of one directed link's counters, as returned by
+/// [`StatsRegistry::snapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkSnapshot {
+    /// Total bytes sent over the link.
+    pub bytes: u64,
+    /// Total messages (slices) sent over the link.
+    pub messages: u64,
+    /// Total nanoseconds senders spent inside `send` on the link.
+    pub busy_nanos: u64,
 }
 
 /// The backend half of a [`SliceSender`]: moves one message to the peer.
@@ -200,11 +331,17 @@ impl SliceSender {
     /// truncate it), or [`TransportError::Io`] on a socket failure.
     pub fn send(&self, msg: SliceMsg) -> Result<(), TransportError> {
         let bytes = msg.data.len() as u64;
+        let started = Instant::now();
         self.inner.send(msg)?;
         // Count only traffic the link actually accepted, so failed sends
-        // don't inflate the byte accounting the tests assert on.
+        // don't inflate the byte accounting the tests assert on. The send
+        // duration (pacing, backpressure, socket writes) is accumulated
+        // alongside: bytes over busy time is the link's measured throughput.
         self.stats.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .busy_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -274,6 +411,25 @@ impl StatsRegistry {
     /// The number of directed links that carried any traffic.
     pub fn links_used(&self) -> usize {
         self.links.lock().values().filter(|s| s.bytes() > 0).count()
+    }
+
+    /// A point-in-time copy of every directed link's counters. Telemetry and
+    /// reporting diff two snapshots to attribute traffic to an interval.
+    pub fn snapshot(&self) -> HashMap<(NodeId, NodeId), LinkSnapshot> {
+        self.links
+            .lock()
+            .iter()
+            .map(|(&pair, stats)| {
+                (
+                    pair,
+                    LinkSnapshot {
+                        bytes: stats.bytes(),
+                        messages: stats.messages(),
+                        busy_nanos: stats.busy_nanos(),
+                    },
+                )
+            })
+            .collect()
     }
 }
 
@@ -357,11 +513,11 @@ impl SliceRx for ChannelRx {
 }
 
 /// The in-process backend: each link is a bounded MPMC channel, optionally
-/// throttled by a per-link token bucket.
+/// throttled by per-link or per-pair token buckets.
 #[derive(Default)]
 pub struct ChannelTransport {
     stats: StatsRegistry,
-    rate_limit: Option<u64>,
+    shaper: Shaper,
 }
 
 impl ChannelTransport {
@@ -378,8 +534,27 @@ impl ChannelTransport {
     pub fn with_rate_limit(bytes_per_sec: u64) -> Self {
         ChannelTransport {
             stats: StatsRegistry::default(),
-            rate_limit: Some(bytes_per_sec),
+            shaper: Shaper::flat(bytes_per_sec),
         }
+    }
+
+    /// Creates a transport whose links are shaped per directed node pair by
+    /// the topology's bandwidth model ([`Topology::bandwidth`]), so a
+    /// heterogeneous cluster — slow NICs, constrained cross-rack links — is
+    /// reproduced in process. All links over one pair share one bucket.
+    pub fn with_topology(topology: Arc<Topology>) -> Self {
+        ChannelTransport {
+            stats: StatsRegistry::default(),
+            shaper: Shaper::topology(topology),
+        }
+    }
+
+    /// Re-rates one directed pair's shared bucket at runtime (topology-shaped
+    /// transports only), throttling streams already in flight — the
+    /// fault-injection hook behind the mid-stream link-degradation tests.
+    /// Returns whether the transport shapes per pair.
+    pub fn set_link_rate(&self, src: NodeId, dst: NodeId, bytes_per_sec: u64) -> bool {
+        self.shaper.set_link_rate(src, dst, bytes_per_sec)
     }
 }
 
@@ -387,7 +562,7 @@ impl Transport for ChannelTransport {
     fn link(&self, src: NodeId, dst: NodeId, capacity: usize) -> (SliceSender, SliceReceiver) {
         let stats = self.stats.register(src, dst);
         let (tx, rx) = bounded(capacity.max(1));
-        let bucket = self.rate_limit.map(|rate| Arc::new(TokenBucket::new(rate)));
+        let bucket = self.shaper.bucket(src, dst);
         (
             SliceSender {
                 inner: Box::new(ChannelTx { inner: tx, bucket }),
@@ -413,6 +588,20 @@ pub enum AnyTransport {
     Channel(ChannelTransport),
     /// Localhost TCP sockets ([`TcpTransport`]).
     Tcp(TcpTransport),
+}
+
+impl AnyTransport {
+    /// Re-rates one directed pair's shared bucket at runtime
+    /// (topology-shaped transports only); see
+    /// [`ChannelTransport::set_link_rate`] /
+    /// [`TcpTransport::set_link_rate`]. Returns whether the backend shapes
+    /// per pair.
+    pub fn set_link_rate(&self, src: NodeId, dst: NodeId, bytes_per_sec: u64) -> bool {
+        match self {
+            AnyTransport::Channel(t) => t.set_link_rate(src, dst, bytes_per_sec),
+            AnyTransport::Tcp(t) => t.set_link_rate(src, dst, bytes_per_sec),
+        }
+    }
 }
 
 impl Transport for AnyTransport {
@@ -528,6 +717,95 @@ mod tests {
         // 128 KB at 1 MB/s needs >= ~100 ms even after the initial burst.
         assert!(start.elapsed() >= Duration::from_millis(90));
         assert_eq!(transport.link_bytes(0, 1), 8 * 16 * 1024);
+    }
+
+    #[test]
+    fn token_bucket_rate_change_applies_mid_stream() {
+        let bucket = TokenBucket::new(100_000_000); // effectively unthrottled
+        bucket.take(64 * 1024);
+        bucket.set_rate(100_000); // 100 KB/s
+        let start = Instant::now();
+        bucket.take(20 * 1024);
+        // 20 KiB at 100 KB/s needs ~200 ms (burst is only ~2 KiB).
+        assert!(start.elapsed() >= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn topology_shaping_throttles_only_the_slow_pair() {
+        // Node 2's NIC is slow; the 0 -> 1 link is fast.
+        let mut topo = Topology::flat(3, 64.0 * 1024.0 * 1024.0);
+        topo.set_node_bandwidth(2, 100_000.0, 100_000.0);
+        let transport = ChannelTransport::with_topology(Arc::new(topo));
+        let elapsed_over = |src: NodeId, dst: NodeId| {
+            let (tx, rx) = transport.link(src, dst, 64);
+            let start = Instant::now();
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    for j in 0..4 {
+                        tx.send(SliceMsg::new(j, Bytes::from(vec![0u8; 16 * 1024])))
+                            .unwrap();
+                    }
+                });
+                for _ in 0..4 {
+                    rx.recv().unwrap();
+                }
+            });
+            start.elapsed()
+        };
+        assert!(elapsed_over(0, 1) < Duration::from_millis(100));
+        // 64 KiB into the 100 KB/s node needs >= ~500 ms.
+        assert!(elapsed_over(0, 2) >= Duration::from_millis(400));
+    }
+
+    #[test]
+    fn topology_pairs_share_one_bucket_but_flat_links_do_not() {
+        let topo = Arc::new(Topology::flat(2, 1_000_000.0));
+        let shaped = ChannelTransport::with_topology(topo);
+        let a = shaped.shaper.bucket(0, 1).unwrap();
+        let b = shaped.shaper.bucket(0, 1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let flat = ChannelTransport::with_rate_limit(1_000_000);
+        let c = flat.shaper.bucket(0, 1).unwrap();
+        let d = flat.shaper.bucket(0, 1).unwrap();
+        assert!(!Arc::ptr_eq(&c, &d));
+    }
+
+    #[test]
+    fn set_link_rate_applies_only_under_topology_shaping() {
+        let unshaped = ChannelTransport::new();
+        assert!(!unshaped.set_link_rate(0, 1, 1));
+        let flat = ChannelTransport::with_rate_limit(1_000_000);
+        assert!(!flat.set_link_rate(0, 1, 1));
+        let shaped = ChannelTransport::with_topology(Arc::new(Topology::flat(2, 1e9)));
+        assert!(shaped.set_link_rate(0, 1, 100_000));
+        // The pre-created bucket is the one links draw from afterwards.
+        let (tx, rx) = shaped.link(0, 1, 64);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                tx.send(SliceMsg::new(0, Bytes::from(vec![0u8; 32 * 1024])))
+                    .unwrap();
+            });
+            rx.recv().unwrap();
+        });
+        assert!(start.elapsed() >= Duration::from_millis(200));
+    }
+
+    #[test]
+    fn snapshot_copies_all_counters() {
+        let transport = ChannelTransport::new();
+        let (tx, rx) = transport.link(0, 1, 4);
+        tx.send(SliceMsg::new(0, Bytes::from_static(b"0123")))
+            .unwrap();
+        rx.recv().unwrap();
+        let snap = transport.stats().snapshot();
+        let link = snap.get(&(0, 1)).unwrap();
+        assert_eq!(link.bytes, 4);
+        assert_eq!(link.messages, 1);
+        // Unused registered pairs don't appear; busy time was recorded.
+        assert_eq!(snap.len(), 1);
+        let registered = transport.stats().register(0, 1);
+        assert!(registered.busy_nanos() > 0);
     }
 
     #[test]

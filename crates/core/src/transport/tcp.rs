@@ -47,13 +47,13 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use ecpipe_sync::{Condvar, Mutex, OnceFlag};
-use simnet::NodeId;
+use simnet::{NodeId, Topology};
 
 use crate::lock_order;
 
 use super::{
-    SliceMsg, SliceReceiver, SliceRx, SliceSender, SliceTx, StatsRegistry, TokenBucket, Transport,
-    TransportError,
+    Shaper, SliceMsg, SliceReceiver, SliceRx, SliceSender, SliceTx, StatsRegistry, TokenBucket,
+    Transport, TransportError,
 };
 
 const OP_HELLO: u8 = 1;
@@ -353,7 +353,7 @@ pub struct TcpTransport {
     /// Lock class: `tcp.conns` ([`lock_order::TCP_CONNS`]).
     conns: Mutex<HashMap<(NodeId, NodeId), Arc<Conn>>>,
     next_link_id: AtomicU64,
-    rate_limit: Option<u64>,
+    shaper: Shaper,
 }
 
 impl Default for TcpTransport {
@@ -372,7 +372,7 @@ impl TcpTransport {
             listeners: Mutex::new(&lock_order::TCP_LISTENERS, HashMap::new()),
             conns: Mutex::new(&lock_order::TCP_CONNS, HashMap::new()),
             next_link_id: AtomicU64::new(1),
-            rate_limit: None,
+            shaper: Shaper::default(),
         }
     }
 
@@ -381,8 +381,28 @@ impl TcpTransport {
     /// on the loopback device.
     pub fn with_rate_limit(bytes_per_sec: u64) -> Self {
         let mut transport = TcpTransport::new();
-        transport.rate_limit = Some(bytes_per_sec);
+        transport.shaper = Shaper::flat(bytes_per_sec);
         transport
+    }
+
+    /// Creates a transport whose links are shaped per directed node pair by
+    /// the topology's bandwidth model ([`Topology::bandwidth`]), so a
+    /// heterogeneous cluster is reproduced on loopback sockets. All links
+    /// over one pair share one bucket — matching the connection reuse, which
+    /// also keys by directed pair.
+    pub fn with_topology(topology: Arc<Topology>) -> Self {
+        let mut transport = TcpTransport::new();
+        transport.shaper = Shaper::topology(topology);
+        transport
+    }
+
+    /// Re-rates one directed pair's shared bucket at runtime
+    /// (topology-shaped transports only), throttling streams already in
+    /// flight — the fault-injection hook behind the mid-stream
+    /// link-degradation tests. Returns whether the transport shapes per
+    /// pair.
+    pub fn set_link_rate(&self, src: NodeId, dst: NodeId, bytes_per_sec: u64) -> bool {
+        self.shaper.set_link_rate(src, dst, bytes_per_sec)
     }
 
     /// The loopback address a node's listener is bound to (binding it first
@@ -450,7 +470,7 @@ impl Transport for TcpTransport {
             .entry((src, dst))
             .or_default()
             .push(link_id);
-        let bucket = self.rate_limit.map(|rate| Arc::new(TokenBucket::new(rate)));
+        let bucket = self.shaper.bucket(src, dst);
         (
             SliceSender {
                 inner: Box::new(TcpTx {

@@ -350,5 +350,32 @@ mod tests {
             let slow = brute_force_path(&weights, 0, &candidates, 4).unwrap();
             prop_assert!((fast.bottleneck_weight - slow.bottleneck_weight).abs() < 1e-12);
         }
+
+        /// Unlike `pruned_search_is_optimal` (which only draws the RNG seed),
+        /// this drives every entry of the matrix — and the instance size —
+        /// from proptest strategies, so a failure reports the offending
+        /// matrix rather than an opaque seed.
+        #[test]
+        fn pruned_search_matches_brute_force_on_arbitrary_matrices(
+            n in 4usize..8,
+            k in 1usize..4,
+            entries in proptest::collection::vec(0.001..100.0f64, 49..50),
+        ) {
+            // `entries` is sampled at the largest size (7 * 7); smaller
+            // instances use its prefix (the shim has no flat-map).
+            let weights = WeightMatrix::new(n, entries[..n * n].to_vec());
+            let candidates: Vec<NodeId> = (1..n).collect();
+            let fast = optimal_path(&weights, 0, &candidates, k).unwrap();
+            let slow = brute_force_path(&weights, 0, &candidates, k).unwrap();
+            prop_assert!(
+                (fast.bottleneck_weight - slow.bottleneck_weight).abs() < 1e-9,
+                "pruned {} vs brute-force {}",
+                fast.bottleneck_weight,
+                slow.bottleneck_weight
+            );
+            // The reported bottleneck must be consistent with the reported path.
+            let evaluated = path_bottleneck(&weights, &fast.path, 0);
+            prop_assert!((evaluated - fast.bottleneck_weight).abs() < 1e-9);
+        }
     }
 }

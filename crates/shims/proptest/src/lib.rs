@@ -122,6 +122,26 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // 53 uniform mantissa bits in [0, 1), scaled to the range
+                    // (real proptest also samples uniformly for float ranges).
+                    let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    self.start + (unit as $t) * (self.end - self.start)
+                }
+            }
+        )*
+    };
+}
+
+impl_float_range_strategy!(f32, f64);
+
 /// Collection strategies (`proptest::collection::vec`).
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -242,6 +262,20 @@ mod tests {
             let w = Strategy::sample(&(1..=255u8), &mut rng);
             assert!(w >= 1);
         }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds_and_vary() {
+        let mut rng = TestRng::from_name("floats");
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let v = Strategy::sample(&(0.001..100.0f64), &mut rng);
+            assert!((0.001..100.0).contains(&v));
+            distinct.insert(v.to_bits());
+            let w = Strategy::sample(&(-2.0..2.0f32), &mut rng);
+            assert!((-2.0..2.0).contains(&w));
+        }
+        assert!(distinct.len() > 400, "samples should not collapse");
     }
 
     #[test]
