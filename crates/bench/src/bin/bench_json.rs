@@ -4,26 +4,25 @@
 //! ```sh
 //! BENCH_SMOKE=1 BENCH_RESULTS_LOG=bench-log.tsv cargo bench -p ecpipe-bench \
 //!     --bench gf_kernels --bench runtime_exec
+//! cargo run -p ecpipe-bench --bin loadgen --  # appends percentile records
 //! cargo run -p ecpipe-bench --bin bench_json -- bench-log.tsv BENCH_results.json \
-//!     --compare BENCH_baseline.json --tolerance 0.5
+//!     --compare BENCH_baseline.json --tolerance 0.5 --tolerance-p99 2.0
 //! ```
 //!
-//! With `--compare`, every benchmark tracked by the baseline must appear in
-//! this run and stay within `1 + tolerance` of its recorded median, or the
-//! process exits non-zero (failing the CI job) after printing the
-//! per-benchmark table. See `docs/BENCHMARKS.md` for the baseline-refresh
-//! procedure.
+//! With `--compare`, every metric tracked by the baseline — the median,
+//! plus p50/p99/p999 for records that carry them — must appear in this run
+//! and stay within `1 + tolerance` of its recorded value, or the process
+//! exits non-zero (failing the CI job) after printing the per-metric table.
+//! `--tolerance` sets the median gate (and the p50 gate, unless
+//! `--tolerance-p50` overrides it); the tail gates default wider — see
+//! `Tolerances` in `ecpipe_bench::results` and `docs/BENCHMARKS.md` for the
+//! baseline-refresh procedure.
 //!
 //! Also exits non-zero if the log is missing, empty or malformed, or if
 //! the output cannot be written — a benchmark pipeline that cannot produce
 //! numbers must not pretend it did.
 
-use ecpipe_bench::results::{compare, parse_log, parse_results_json, render_json};
-
-/// Default allowed fractional slowdown. Smoke-mode medians come from a
-/// handful of samples on shared runners, so the gate only trips on integer-
-/// factor regressions, not scheduling noise.
-const DEFAULT_TOLERANCE: f64 = 0.5;
+use ecpipe_bench::results::{compare, parse_log, parse_results_json, render_json, Tolerances};
 
 fn fail(msg: String) -> ! {
     eprintln!("bench_json: {msg}");
@@ -34,8 +33,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
     let mut baseline_path: Option<String> = None;
-    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut tolerances = Tolerances::default();
+    let mut p50_overridden = false;
     let mut it = args.into_iter();
+    let tolerance_value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> f64 {
+        it.next()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .unwrap_or_else(|| fail(format!("{flag} requires a non-negative number")))
+    };
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--compare" => match it.next() {
@@ -43,21 +49,29 @@ fn main() {
                 None => fail("--compare requires a baseline path".to_string()),
             },
             "--tolerance" => {
-                tolerance = it
-                    .next()
-                    .and_then(|v| v.parse::<f64>().ok())
-                    .filter(|v| v.is_finite() && *v >= 0.0)
-                    .unwrap_or_else(|| {
-                        fail("--tolerance requires a non-negative number".to_string())
-                    });
+                tolerances.median = tolerance_value(&mut it, "--tolerance");
+                // The p50 of a latency distribution is as stable as a
+                // median-of-iterations, so it follows the median gate
+                // unless explicitly overridden.
+                if !p50_overridden {
+                    tolerances.p50 = tolerances.median;
+                }
             }
+            "--tolerance-p50" => {
+                tolerances.p50 = tolerance_value(&mut it, "--tolerance-p50");
+                p50_overridden = true;
+            }
+            "--tolerance-p99" => tolerances.p99 = tolerance_value(&mut it, "--tolerance-p99"),
+            "--tolerance-p999" => tolerances.p999 = tolerance_value(&mut it, "--tolerance-p999"),
             _ => positional.push(arg),
         }
     }
     let [log_path, out_path] = positional.as_slice() else {
         eprintln!(
             "usage: bench_json <bench-results-log> <output-json> \
-             [--compare <baseline-json>] [--tolerance <fraction>]"
+             [--compare <baseline-json>] [--tolerance <fraction>] \
+             [--tolerance-p50 <fraction>] [--tolerance-p99 <fraction>] \
+             [--tolerance-p999 <fraction>]"
         );
         std::process::exit(2);
     };
@@ -79,21 +93,24 @@ fn main() {
             .unwrap_or_else(|e| fail(format!("cannot read baseline {baseline_path}: {e}")));
         let baseline = parse_results_json(&baseline_text)
             .unwrap_or_else(|e| fail(format!("malformed baseline {baseline_path}: {e}")));
-        let cmp = compare(&baseline, &records, tolerance);
+        let cmp = compare(&baseline, &records, tolerances);
         print!("{}", cmp.render());
         if cmp.passed() {
             println!(
-                "bench_json: {} tracked benchmark(s) within {:.0}% of baseline",
+                "bench_json: {} tracked metric(s) within tolerance of baseline \
+                 (median {:.0}%, p50 {:.0}%, p99 {:.0}%, p999 {:.0}%)",
                 cmp.entries.len(),
-                tolerance * 100.0
+                tolerances.median * 100.0,
+                tolerances.p50 * 100.0,
+                tolerances.p99 * 100.0,
+                tolerances.p999 * 100.0
             );
         } else {
             fail(format!(
-                "{} regression(s), {} missing tracked benchmark(s) vs {baseline_path} \
-                 (tolerance {:.0}%) — see docs/BENCHMARKS.md for the refresh procedure",
+                "{} regression(s), {} missing tracked metric(s) vs {baseline_path} \
+                 — see docs/BENCHMARKS.md for the refresh procedure",
                 cmp.regressions().len(),
                 cmp.missing.len(),
-                tolerance * 100.0
             ));
         }
     }

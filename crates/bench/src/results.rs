@@ -8,34 +8,56 @@
 //! ```
 //!
 //! where the two throughput fields are `-` when the bench has no such
-//! annotation. [`parse_log`] validates that log strictly — a malformed line
-//! is an error, not a skip, so CI fails loudly instead of uploading a
-//! silently truncated artifact — and [`render_json`] turns the records into
-//! the JSON document the `bench_json` binary writes:
+//! annotation. The load harness appends *extended* records with three more
+//! columns carrying tail latencies:
+//!
+//! ```text
+//! name \t ns_per_iter \t bytes_per_sec \t elements_per_sec \t p50 \t p99 \t p999
+//! ```
+//!
+//! [`parse_log`] validates that log strictly — a malformed line is an
+//! error, not a skip, so CI fails loudly instead of uploading a silently
+//! truncated artifact — and [`render_json`] turns the records into the JSON
+//! document the `bench_json` binary writes:
 //!
 //! ```json
 //! {
 //!   "benchmarks": [
 //!     {"name": "gf_kernels/mul_slice/32768", "ns_per_iter": 1234.5,
-//!      "bytes_per_sec": 26543210.9}
+//!      "bytes_per_sec": 26543210.9},
+//!     {"name": "load_harness/get", "ns_per_iter": 81000.0,
+//!      "elements_per_sec": 1950.0, "p50_ns": 64000.0, "p99_ns": 410000.0,
+//!      "p999_ns": 1900000.0}
 //!   ]
 //! }
 //! ```
+//!
+//! Comparison against the committed baseline gates each metric with its own
+//! tolerance (see [`Tolerances`]): medians are stable even in smoke mode,
+//! p99 and especially p999 come from far fewer effective samples and get
+//! proportionally wider gates.
 
 /// One benchmark measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRecord {
     /// Benchmark name (`group/function/param`).
     pub name: String,
-    /// Median wall-clock nanoseconds per iteration.
+    /// Median wall-clock nanoseconds per iteration (for the load harness:
+    /// mean latency).
     pub ns_per_iter: f64,
     /// Throughput, when the bench declared `Throughput::Bytes`.
     pub bytes_per_sec: Option<f64>,
     /// Throughput, when the bench declared `Throughput::Elements`.
     pub elements_per_sec: Option<f64>,
+    /// Median latency in nanoseconds, when the record carries percentiles.
+    pub p50_ns: Option<f64>,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: Option<f64>,
+    /// 99.9th-percentile latency in nanoseconds.
+    pub p999_ns: Option<f64>,
 }
 
-fn parse_throughput(field: &str, line_no: usize, what: &str) -> Result<Option<f64>, String> {
+fn parse_optional(field: &str, line_no: usize, what: &str) -> Result<Option<f64>, String> {
     if field == "-" {
         return Ok(None);
     }
@@ -48,7 +70,8 @@ fn parse_throughput(field: &str, line_no: usize, what: &str) -> Result<Option<f6
 }
 
 /// Parses a `BENCH_RESULTS_LOG` file. Blank lines are ignored; any other
-/// deviation from the four-field record format is an error.
+/// deviation from the four-field (or seven-field, with percentiles) record
+/// format is an error.
 pub fn parse_log(text: &str) -> Result<Vec<BenchRecord>, String> {
     let mut records: Vec<BenchRecord> = Vec::new();
     let mut seen = std::collections::HashSet::new();
@@ -58,9 +81,9 @@ pub fn parse_log(text: &str) -> Result<Vec<BenchRecord>, String> {
             continue;
         }
         let fields: Vec<&str> = line.split('\t').collect();
-        if fields.len() != 4 {
+        if fields.len() != 4 && fields.len() != 7 {
             return Err(format!(
-                "line {line_no}: expected 4 tab-separated fields, got {}",
+                "line {line_no}: expected 4 or 7 tab-separated fields, got {}",
                 fields.len()
             ));
         }
@@ -79,11 +102,20 @@ pub fn parse_log(text: &str) -> Result<Vec<BenchRecord>, String> {
             .ok()
             .filter(|v| v.is_finite() && *v > 0.0)
             .ok_or_else(|| format!("line {line_no}: bad ns_per_iter field {:?}", fields[1]))?;
+        let percentile = |idx: usize, what: &str| -> Result<Option<f64>, String> {
+            match fields.get(idx) {
+                Some(f) => parse_optional(f, line_no, what),
+                None => Ok(None),
+            }
+        };
         records.push(BenchRecord {
             name: fields[0].to_string(),
             ns_per_iter,
-            bytes_per_sec: parse_throughput(fields[2], line_no, "bytes_per_sec")?,
-            elements_per_sec: parse_throughput(fields[3], line_no, "elements_per_sec")?,
+            bytes_per_sec: parse_optional(fields[2], line_no, "bytes_per_sec")?,
+            elements_per_sec: parse_optional(fields[3], line_no, "elements_per_sec")?,
+            p50_ns: percentile(4, "p50_ns")?,
+            p99_ns: percentile(5, "p99_ns")?,
+            p999_ns: percentile(6, "p999_ns")?,
         });
     }
     if records.is_empty() {
@@ -116,11 +148,16 @@ pub fn render_json(records: &[BenchRecord]) -> String {
             escape_json(&r.name),
             r.ns_per_iter
         ));
-        if let Some(bps) = r.bytes_per_sec {
-            out.push_str(&format!(", \"bytes_per_sec\": {bps:.3}"));
-        }
-        if let Some(eps) = r.elements_per_sec {
-            out.push_str(&format!(", \"elements_per_sec\": {eps:.3}"));
+        for (key, value) in [
+            ("bytes_per_sec", r.bytes_per_sec),
+            ("elements_per_sec", r.elements_per_sec),
+            ("p50_ns", r.p50_ns),
+            ("p99_ns", r.p99_ns),
+            ("p999_ns", r.p999_ns),
+        ] {
+            if let Some(v) = value {
+                out.push_str(&format!(", \"{key}\": {v:.3}"));
+            }
         }
         out.push('}');
         if i + 1 < records.len() {
@@ -213,6 +250,9 @@ pub fn parse_results_json(text: &str) -> Result<Vec<BenchRecord>, String> {
             ns_per_iter,
             bytes_per_sec: parse_opt("bytes_per_sec"),
             elements_per_sec: parse_opt("elements_per_sec"),
+            p50_ns: parse_opt("p50_ns"),
+            p99_ns: parse_opt("p99_ns"),
+            p999_ns: parse_opt("p999_ns"),
         });
     }
     if records.is_empty() {
@@ -222,14 +262,83 @@ pub fn parse_results_json(text: &str) -> Result<Vec<BenchRecord>, String> {
     Ok(records)
 }
 
-/// One tracked benchmark's baseline-vs-current medians.
+/// Which of a record's latency metrics a comparison entry tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// `ns_per_iter` — the bench median (or harness mean).
+    Median,
+    /// `p50_ns`.
+    P50,
+    /// `p99_ns`.
+    P99,
+    /// `p999_ns`.
+    P999,
+}
+
+impl Metric {
+    /// Label used in comparison tables and missing-metric reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Median => "median",
+            Metric::P50 => "p50",
+            Metric::P99 => "p99",
+            Metric::P999 => "p999",
+        }
+    }
+}
+
+/// Per-metric allowed fractional slowdown.
+///
+/// The defaults widen toward the tail: medians are stable even from a few
+/// smoke samples, p99 of a seconds-long run rests on ~1% of the samples,
+/// and p999 on ~0.1% — gating those as tightly as the median would make the
+/// job fail on scheduler noise, gating them not at all would let real tail
+/// regressions ship.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Gate on `ns_per_iter` (`0.5` = fail beyond 1.5× baseline).
+    pub median: f64,
+    /// Gate on `p50_ns`.
+    pub p50: f64,
+    /// Gate on `p99_ns`.
+    pub p99: f64,
+    /// Gate on `p999_ns`.
+    pub p999: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            median: 0.5,
+            p50: 0.5,
+            p99: 2.0,
+            p999: 4.0,
+        }
+    }
+}
+
+impl Tolerances {
+    /// The tolerance applied to `metric`.
+    pub fn for_metric(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::Median => self.median,
+            Metric::P50 => self.p50,
+            Metric::P99 => self.p99,
+            Metric::P999 => self.p999,
+        }
+    }
+}
+
+/// One tracked metric's baseline-vs-current values.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonEntry {
     /// Benchmark name (`group/function/param`).
     pub name: String,
-    /// Median ns/iter recorded in the committed baseline.
+    /// Which metric of that benchmark this entry tracks.
+    pub metric: Metric,
+    /// Value recorded in the committed baseline, nanoseconds.
     pub baseline_ns: f64,
-    /// Median ns/iter measured by this run.
+    /// Value measured by this run, nanoseconds.
     pub current_ns: f64,
 }
 
@@ -242,27 +351,29 @@ impl ComparisonEntry {
 
 /// The result of comparing a run against the committed baseline.
 ///
-/// Every benchmark *in the baseline* is tracked: it must be present in the
-/// current run and within tolerance of its recorded median. Benchmarks the
-/// current run adds are fine — they become tracked when the baseline is
-/// refreshed (see `docs/BENCHMARKS.md`).
+/// Every metric *in the baseline* is tracked: the benchmark must be present
+/// in the current run, must still report every percentile the baseline
+/// recorded, and each metric must stay within its tolerance. Benchmarks
+/// (and percentiles) the current run adds are fine — they become tracked
+/// when the baseline is refreshed (see `docs/BENCHMARKS.md`).
 #[derive(Debug)]
 pub struct Comparison {
-    /// One entry per tracked benchmark present in both sets.
+    /// One entry per tracked metric present in both sets.
     pub entries: Vec<ComparisonEntry>,
-    /// Tracked benchmarks the current run did not produce — a fail: a
-    /// deleted bench silently un-tracks a number the gate was protecting.
+    /// Tracked benchmarks (or `name [metric]` percentile columns) the
+    /// current run did not produce — a fail: a deleted bench or dropped
+    /// percentile silently un-tracks a number the gate was protecting.
     pub missing: Vec<String>,
-    /// Allowed fractional slowdown (`0.5` = fail beyond 1.5× baseline).
-    pub tolerance: f64,
+    /// The per-metric gates applied.
+    pub tolerances: Tolerances,
 }
 
 impl Comparison {
-    /// Tracked benchmarks that regressed beyond tolerance.
+    /// Tracked metrics that regressed beyond their tolerance.
     pub fn regressions(&self) -> Vec<&ComparisonEntry> {
         self.entries
             .iter()
-            .filter(|e| e.ratio() > 1.0 + self.tolerance)
+            .filter(|e| e.ratio() > 1.0 + self.tolerances.for_metric(e.metric))
             .collect()
     }
 
@@ -271,21 +382,26 @@ impl Comparison {
         self.missing.is_empty() && self.regressions().is_empty()
     }
 
-    /// A human-readable per-benchmark table for the CI log.
+    /// A human-readable per-metric table for the CI log.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for e in &self.entries {
-            let verdict = if e.ratio() > 1.0 + self.tolerance {
+            let tolerance = self.tolerances.for_metric(e.metric);
+            let verdict = if e.ratio() > 1.0 + tolerance {
                 "REGRESSED"
             } else {
                 "ok"
             };
+            let tracked = match e.metric {
+                Metric::Median => e.name.clone(),
+                metric => format!("{} [{}]", e.name, metric.label()),
+            };
             out.push_str(&format!(
-                "{:<50} {:>12.1} -> {:>12.1} ns  ({:>5.2}x)  {verdict}\n",
-                e.name,
+                "{tracked:<50} {:>12.1} -> {:>12.1} ns  ({:>5.2}x, tol {:.0}%)  {verdict}\n",
                 e.baseline_ns,
                 e.current_ns,
-                e.ratio()
+                e.ratio(),
+                tolerance * 100.0
             ));
         }
         for name in &self.missing {
@@ -295,27 +411,49 @@ impl Comparison {
     }
 }
 
-/// Compares current medians against the committed baseline. `tolerance` is
-/// the allowed fractional slowdown per tracked benchmark.
-pub fn compare(baseline: &[BenchRecord], current: &[BenchRecord], tolerance: f64) -> Comparison {
+/// Compares current records against the committed baseline, gating each
+/// metric the baseline tracks with its [`Tolerances`] entry.
+pub fn compare(
+    baseline: &[BenchRecord],
+    current: &[BenchRecord],
+    tolerances: Tolerances,
+) -> Comparison {
     let current_by_name: std::collections::HashMap<&str, &BenchRecord> =
         current.iter().map(|r| (r.name.as_str(), r)).collect();
     let mut entries = Vec::new();
     let mut missing = Vec::new();
     for b in baseline {
-        match current_by_name.get(b.name.as_str()) {
-            Some(c) => entries.push(ComparisonEntry {
-                name: b.name.clone(),
-                baseline_ns: b.ns_per_iter,
-                current_ns: c.ns_per_iter,
-            }),
-            None => missing.push(b.name.clone()),
+        let Some(c) = current_by_name.get(b.name.as_str()) else {
+            missing.push(b.name.clone());
+            continue;
+        };
+        entries.push(ComparisonEntry {
+            name: b.name.clone(),
+            metric: Metric::Median,
+            baseline_ns: b.ns_per_iter,
+            current_ns: c.ns_per_iter,
+        });
+        for (metric, base, cur) in [
+            (Metric::P50, b.p50_ns, c.p50_ns),
+            (Metric::P99, b.p99_ns, c.p99_ns),
+            (Metric::P999, b.p999_ns, c.p999_ns),
+        ] {
+            match (base, cur) {
+                (Some(baseline_ns), Some(current_ns)) => entries.push(ComparisonEntry {
+                    name: b.name.clone(),
+                    metric,
+                    baseline_ns,
+                    current_ns,
+                }),
+                (Some(_), None) => missing.push(format!("{} [{}]", b.name, metric.label())),
+                (None, _) => {}
+            }
         }
     }
     Comparison {
         entries,
         missing,
-        tolerance,
+        tolerances,
     }
 }
 
@@ -331,8 +469,22 @@ mod tests {
         assert_eq!(records[0].name, "a/one");
         assert_eq!(records[0].bytes_per_sec, Some(1048576.5));
         assert_eq!(records[0].elements_per_sec, None);
+        assert_eq!(records[0].p50_ns, None);
         assert_eq!(records[1].name, "b/two");
         assert_eq!(records[1].elements_per_sec, Some(50.25));
+    }
+
+    #[test]
+    fn parses_extended_percentile_records() {
+        let log = "load_harness/get\t81000.0\t-\t1950.0\t64000\t410000\t1900000\n\
+                   gf/mul\t100.0\t1024.0\t-\n";
+        let records = parse_log(log).unwrap();
+        let harness = records.iter().find(|r| r.name.starts_with("load")).unwrap();
+        assert_eq!(harness.p50_ns, Some(64000.0));
+        assert_eq!(harness.p99_ns, Some(410000.0));
+        assert_eq!(harness.p999_ns, Some(1900000.0));
+        let plain = records.iter().find(|r| r.name.starts_with("gf")).unwrap();
+        assert_eq!(plain.p50_ns, None);
     }
 
     #[test]
@@ -343,6 +495,12 @@ mod tests {
         assert!(parse_log("name\t-5.0\t-\t-\n").is_err());
         assert!(parse_log("name\t10.0\tNaN\t-\n").is_err());
         assert!(parse_log("\t10.0\t-\t-\n").is_err());
+        // Five or six fields are neither format.
+        assert!(parse_log("name\t10.0\t-\t-\t100\n").is_err());
+        assert!(parse_log("name\t10.0\t-\t-\t100\t200\n").is_err());
+        // Bad percentile in an extended record.
+        assert!(parse_log("name\t10.0\t-\t-\tnope\t200\t300\n").is_err());
+        assert!(parse_log("name\t10.0\t-\t-\t100\t-0.5\t300\n").is_err());
     }
 
     #[test]
@@ -360,6 +518,7 @@ mod tests {
         assert!(json.contains("\"ns_per_iter\": 1500.000"));
         assert!(json.contains("\"bytes_per_sec\": 42666666.667"));
         assert!(!json.contains("elements_per_sec"));
+        assert!(!json.contains("p50_ns"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(
             json.matches('{').count(),
@@ -376,6 +535,9 @@ mod tests {
             ns_per_iter: 1.0,
             bytes_per_sec: None,
             elements_per_sec: None,
+            p50_ns: None,
+            p99_ns: None,
+            p999_ns: None,
         }];
         let json = render_json(&records);
         assert!(json.contains("weird\\\"name\\\\with\\u0009control"));
@@ -386,11 +548,12 @@ mod tests {
         let records = parse_log(
             "g/mul/32768\t1500.5\t42666666.667\t-\n\
              exec/repair\t900000.0\t-\t12.5\n\
+             load_harness/overall\t81000.0\t-\t1950.0\t64000\t410000\t1900000\n\
              weird\"name\t10.0\t-\t-\n",
         )
         .unwrap();
         let parsed = parse_results_json(&render_json(&records)).unwrap();
-        assert_eq!(parsed.len(), 3);
+        assert_eq!(parsed.len(), 4);
         assert_eq!(parsed, records);
     }
 
@@ -408,6 +571,18 @@ mod tests {
             ns_per_iter: ns,
             bytes_per_sec: None,
             elements_per_sec: None,
+            p50_ns: None,
+            p99_ns: None,
+            p999_ns: None,
+        }
+    }
+
+    fn rec_pct(name: &str, ns: f64, p50: f64, p99: f64, p999: f64) -> BenchRecord {
+        BenchRecord {
+            p50_ns: Some(p50),
+            p99_ns: Some(p99),
+            p999_ns: Some(p999),
+            ..rec(name, ns)
         }
     }
 
@@ -415,7 +590,7 @@ mod tests {
     fn compare_passes_within_tolerance_and_ignores_new_benches() {
         let baseline = vec![rec("a", 100.0), rec("b", 1000.0)];
         let current = vec![rec("a", 140.0), rec("b", 900.0), rec("brand_new", 5.0)];
-        let cmp = compare(&baseline, &current, 0.5);
+        let cmp = compare(&baseline, &current, Tolerances::default());
         assert!(cmp.passed(), "{}", cmp.render());
         assert_eq!(cmp.entries.len(), 2);
         assert!(cmp.missing.is_empty());
@@ -425,7 +600,7 @@ mod tests {
     fn compare_fails_on_regression_beyond_tolerance() {
         let baseline = vec![rec("a", 100.0), rec("b", 1000.0)];
         let current = vec![rec("a", 151.0), rec("b", 1000.0)];
-        let cmp = compare(&baseline, &current, 0.5);
+        let cmp = compare(&baseline, &current, Tolerances::default());
         assert!(!cmp.passed());
         let regressions = cmp.regressions();
         assert_eq!(regressions.len(), 1);
@@ -437,9 +612,39 @@ mod tests {
     fn compare_fails_when_a_tracked_bench_disappears() {
         let baseline = vec![rec("a", 100.0), rec("gone", 50.0)];
         let current = vec![rec("a", 100.0)];
-        let cmp = compare(&baseline, &current, 0.5);
+        let cmp = compare(&baseline, &current, Tolerances::default());
         assert!(!cmp.passed());
         assert_eq!(cmp.missing, vec!["gone".to_string()]);
         assert!(cmp.render().contains("MISSING"), "{}", cmp.render());
+    }
+
+    #[test]
+    fn percentiles_are_gated_with_their_own_tolerances() {
+        let baseline = vec![rec_pct("lh/get", 100.0, 80.0, 500.0, 2000.0)];
+        // p99 at 2.9x (within its 2.0 tolerance), median/p50 unchanged.
+        let within = vec![rec_pct("lh/get", 100.0, 80.0, 1450.0, 2000.0)];
+        let cmp = compare(&baseline, &within, Tolerances::default());
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert_eq!(cmp.entries.len(), 4);
+        // The same ratio on p50 trips its (tighter) gate.
+        let p50_blown = vec![rec_pct("lh/get", 100.0, 232.0, 500.0, 2000.0)];
+        let cmp = compare(&baseline, &p50_blown, Tolerances::default());
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions()[0].metric, Metric::P50);
+        // p999 beyond 5x trips the widest gate.
+        let p999_blown = vec![rec_pct("lh/get", 100.0, 80.0, 500.0, 10100.0)];
+        let cmp = compare(&baseline, &p999_blown, Tolerances::default());
+        assert!(!cmp.passed());
+        assert_eq!(cmp.regressions()[0].metric, Metric::P999);
+    }
+
+    #[test]
+    fn compare_fails_when_a_tracked_percentile_disappears() {
+        let baseline = vec![rec_pct("lh/get", 100.0, 80.0, 500.0, 2000.0)];
+        let current = vec![rec("lh/get", 100.0)];
+        let cmp = compare(&baseline, &current, Tolerances::default());
+        assert!(!cmp.passed());
+        assert_eq!(cmp.missing.len(), 3);
+        assert!(cmp.missing[0].contains("[p50]"), "{:?}", cmp.missing);
     }
 }

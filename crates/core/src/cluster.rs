@@ -76,37 +76,6 @@ impl Cluster {
         self.topology.as_ref()
     }
 
-    /// Creates a cluster of `nodes` in-memory storage nodes.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Cluster::new(StoreBackend::memory(nodes))`"
-    )]
-    pub fn in_memory(nodes: usize) -> Self {
-        Cluster::new(StoreBackend::memory(nodes)).expect("in-memory backends are infallible")
-    }
-
-    /// Creates a cluster of `nodes` in-memory storage nodes whose stores
-    /// verify per-chunk CRC-32 checksums on every read, so injected
-    /// corruption ([`Cluster::corrupt_block`]) is detectable by reads and
-    /// scrubbing.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Cluster::new(StoreBackend::memory_checksummed(nodes))`"
-    )]
-    pub fn in_memory_checksummed(nodes: usize) -> Self {
-        Cluster::new(StoreBackend::memory_checksummed(nodes))
-            .expect("in-memory backends are infallible")
-    }
-
-    /// Creates a cluster from explicit per-node stores (e.g. file-backed).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Cluster::new(StoreBackend::custom(stores))`"
-    )]
-    pub fn from_stores(stores: Vec<Arc<dyn BlockStore>>) -> Self {
-        Cluster::new(StoreBackend::custom(stores)).expect("custom backends are infallible")
-    }
-
     /// The number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.stores.len()
@@ -442,18 +411,17 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_build_working_clusters() {
-        // The shims must stay byte-equivalent to the StoreBackend path for
-        // one release.
+    fn backend_constructors_build_working_clusters() {
         let code = Arc::new(ReedSolomon::new(6, 4).unwrap());
         let mut coordinator = Coordinator::new(code, SliceLayout::new(4096, 512));
-        let cluster = Cluster::in_memory(8);
+        let cluster = Cluster::new(StoreBackend::memory(8)).unwrap();
         let data: Vec<Vec<u8>> = (0..4).map(|i| vec![(i * 17 + 3) as u8; 4096]).collect();
         let stripe = cluster.write_stripe(&mut coordinator, 0, &data).unwrap();
         assert_eq!(cluster.read_block(stripe, 0).unwrap(), data[0]);
-        assert_eq!(Cluster::in_memory_checksummed(3).num_nodes(), 3);
-        assert_eq!(Cluster::from_stores(Vec::new()).num_nodes(), 0);
+        let checksummed = Cluster::new(StoreBackend::memory_checksummed(3)).unwrap();
+        assert_eq!(checksummed.num_nodes(), 3);
+        let custom = Cluster::new(StoreBackend::custom(Vec::new())).unwrap();
+        assert_eq!(custom.num_nodes(), 0);
     }
 
     #[test]

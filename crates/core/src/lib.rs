@@ -114,7 +114,9 @@ pub use manager::{
 };
 pub use store::{BlockStore, FileStore, MemoryStore, StoreBackend};
 pub use telemetry::{LinkTelemetry, TelemetryConfig};
-pub use transport::{AnyTransport, ChannelTransport, TcpTransport, Transport, TransportError};
+pub use transport::{
+    AnyTransport, ChannelTransport, ReactorTransport, TcpTransport, Transport, TransportError,
+};
 
 pub use simnet::Topology;
 

@@ -90,8 +90,23 @@ lock_class!(
 );
 
 lock_class!(
+    /// Reactor transport listener table; held while binding and registering
+    /// a listener with the reactor, so it precedes the reactor's dispatch
+    /// table (`reactor.sources`, rank 55, declared in `ecpipe-reactor`).
+    pub RTRANSPORT_LISTENERS = ("rtransport.listeners", rank = 51)
+);
+
+lock_class!(
     /// TCP transport listener table.
     pub TCP_LISTENERS = ("tcp.listeners", rank = 52)
+);
+
+lock_class!(
+    /// Reactor transport connection table (outbound cache + accepted
+    /// inbound); held while writing the handshake into per-connection state
+    /// and while registering sockets with the reactor, so it precedes both
+    /// [`RTRANSPORT_CONN`] and `reactor.sources` (rank 55).
+    pub RTRANSPORT_CONNS = ("rtransport.conns", rank = 53)
 );
 
 lock_class!(
@@ -101,20 +116,39 @@ lock_class!(
 );
 
 lock_class!(
-    /// TCP transport live-link table; held while closing per-link state,
-    /// so it precedes [`TCP_LINK_STATE`].
-    pub TCP_LINKS = ("tcp.links", rank = 56)
+    /// Live-link table shared by the socket transports; held while closing
+    /// per-link state, so it precedes [`FRAMED_LINK_STATE`].
+    pub FRAMED_LINKS = ("framed.links", rank = 56)
 );
 
 lock_class!(
-    /// TCP transport connection→links index used for teardown.
-    pub TCP_CONN_LINKS = ("tcp.conn_links", rank = 58)
+    /// Connection→links index used for teardown, shared by the socket
+    /// transports.
+    pub FRAMED_CONN_LINKS = ("framed.conn_links", rank = 58)
 );
 
 lock_class!(
-    /// Per-link queue/credit state; senders and receivers block on its
-    /// condvars.
-    pub TCP_LINK_STATE = ("tcp.link_state", rank = 60)
+    /// Reactor transport per-connection buffers (outbound queue, inbound
+    /// frame decoder). Senders take it after the credit gate releases
+    /// [`FRAMED_LINK_STATE`], and the read path drains decoded frames under
+    /// it before pushing into link queues — but teardown may close link
+    /// state while a connection is being evicted, so it ranks just below
+    /// [`FRAMED_LINK_STATE`].
+    pub RTRANSPORT_CONN = ("rtransport.conn", rank = 59)
+);
+
+lock_class!(
+    /// Per-link queue/credit state shared by the socket transports; senders
+    /// and receivers block on its condvars.
+    pub FRAMED_LINK_STATE = ("framed.link_state", rank = 60)
+);
+
+lock_class!(
+    /// Reactor transport per-connection epoll registration slot. Interest
+    /// re-arming decisions are made while holding the connection's buffer
+    /// state, so this ranks above [`RTRANSPORT_CONN`] and
+    /// [`FRAMED_LINK_STATE`].
+    pub RTRANSPORT_CONN_REG = ("rtransport.conn_reg", rank = 61)
 );
 
 lock_class!(

@@ -30,10 +30,8 @@ use crate::{EcPipeError, Result};
 
 /// How the nodes of a [`Cluster`](crate::Cluster) store their blocks.
 ///
-/// One typed choice replaces the historical constructor sprawl
-/// (`Cluster::in_memory`, `Cluster::in_memory_checksummed`,
-/// `Cluster::from_stores`): pass a backend to
-/// [`Cluster::new`](crate::Cluster::new) or to
+/// One typed choice instead of a constructor per storage flavor: pass a
+/// backend to [`Cluster::new`](crate::Cluster::new) or to
 /// [`EcPipeBuilder::store`](crate::EcPipeBuilder::store).
 ///
 /// ```

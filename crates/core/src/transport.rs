@@ -37,8 +37,12 @@ use simnet::{NodeId, Topology};
 
 use crate::lock_order;
 
+mod framed;
+mod reactor;
 mod tcp;
+mod wire;
 
+pub use reactor::ReactorTransport;
 pub use tcp::TcpTransport;
 
 /// The mutable half of a [`TokenBucket`]: the fill level plus the rate,
@@ -586,20 +590,26 @@ impl Transport for ChannelTransport {
 pub enum AnyTransport {
     /// In-process bounded channels ([`ChannelTransport`]).
     Channel(ChannelTransport),
-    /// Localhost TCP sockets ([`TcpTransport`]).
+    /// Localhost TCP sockets, one thread per listener/connection
+    /// ([`TcpTransport`]).
     Tcp(TcpTransport),
+    /// Localhost TCP sockets multiplexed over a fixed epoll thread pool
+    /// ([`ReactorTransport`]).
+    Reactor(ReactorTransport),
 }
 
 impl AnyTransport {
     /// Re-rates one directed pair's shared bucket at runtime
     /// (topology-shaped transports only); see
     /// [`ChannelTransport::set_link_rate`] /
-    /// [`TcpTransport::set_link_rate`]. Returns whether the backend shapes
-    /// per pair.
+    /// [`TcpTransport::set_link_rate`] /
+    /// [`ReactorTransport::set_link_rate`]. Returns whether the backend
+    /// shapes per pair.
     pub fn set_link_rate(&self, src: NodeId, dst: NodeId, bytes_per_sec: u64) -> bool {
         match self {
             AnyTransport::Channel(t) => t.set_link_rate(src, dst, bytes_per_sec),
             AnyTransport::Tcp(t) => t.set_link_rate(src, dst, bytes_per_sec),
+            AnyTransport::Reactor(t) => t.set_link_rate(src, dst, bytes_per_sec),
         }
     }
 }
@@ -609,6 +619,7 @@ impl Transport for AnyTransport {
         match self {
             AnyTransport::Channel(t) => t.link(src, dst, capacity),
             AnyTransport::Tcp(t) => t.link(src, dst, capacity),
+            AnyTransport::Reactor(t) => t.link(src, dst, capacity),
         }
     }
 
@@ -616,6 +627,7 @@ impl Transport for AnyTransport {
         match self {
             AnyTransport::Channel(t) => t.stats(),
             AnyTransport::Tcp(t) => t.stats(),
+            AnyTransport::Reactor(t) => t.stats(),
         }
     }
 }
@@ -629,6 +641,12 @@ impl From<ChannelTransport> for AnyTransport {
 impl From<TcpTransport> for AnyTransport {
     fn from(t: TcpTransport) -> Self {
         AnyTransport::Tcp(t)
+    }
+}
+
+impl From<ReactorTransport> for AnyTransport {
+    fn from(t: ReactorTransport) -> Self {
+        AnyTransport::Reactor(t)
     }
 }
 

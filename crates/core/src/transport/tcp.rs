@@ -7,28 +7,14 @@
 //! (and therefore every slice and every repair) between those nodes, with
 //! frames demultiplexed by link id.
 //!
-//! # Wire format
-//!
-//! Every frame is length-prefixed and little-endian:
-//!
-//! ```text
-//! +--------+----------+-----------+------------+------------+----------+---------+
-//! | opcode | link id  | slice idx | stripe id  | repair id  | len: u32 | payload |
-//! | u8     | u64      | u64       | u64        | u64        |          | [u8]    |
-//! +--------+----------+-----------+------------+------------+----------+---------+
-//! ```
-//!
-//! Opcodes: `HELLO` (first frame on a connection, announcing the `(src,
-//! dst)` node pair), `DATA` (one [`SliceMsg`]: slice index, stripe and
-//! repair-job ids, payload), `EOS` (the sending half of a link was dropped).
-//!
-//! # Flow control
-//!
-//! A link's `capacity` is enforced with sender-side credits: a sender
-//! consumes one credit per slice and blocks at zero; the receiver returns a
-//! credit each time it pops a slice. Credits are process-local control
-//! state (this backend runs all nodes in one process over localhost); the
-//! data plane — every slice payload — always crosses a real socket.
+//! The wire format is shared with [`ReactorTransport`](super::ReactorTransport)
+//! and documented in [`wire`](super::wire); the credit-based flow control
+//! (a link's `capacity` enforced with sender-side credits) is shared too
+//! and lives in [`framed`](super::framed). What distinguishes this backend
+//! is its threading model: blocking sockets, one accept thread per
+//! listener and one reader thread per accepted connection — simple and
+//! fine at a handful of nodes, superseded by the reactor backend when
+//! connection counts grow.
 //!
 //! # Throttling
 //!
@@ -38,127 +24,24 @@
 //! under repair pipelining should take about `1 + (k-1)/s` times a direct
 //! block send (§3.2), which the conformance tests measure.
 
-use std::collections::{HashMap, VecDeque};
-use std::io::{Read, Write};
+use std::collections::HashMap;
+use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
-use ecpipe_sync::{Condvar, Mutex, OnceFlag};
+use ecpipe_sync::{Mutex, OnceFlag};
 use simnet::{NodeId, Topology};
 
 use crate::lock_order;
 
+use super::framed::{FramedRx, LinkState, LinkTable, WAIT_TICK};
+use super::wire::{encode_header, read_frame, OP_DATA, OP_EOS, OP_HELLO};
 use super::{
-    Shaper, SliceMsg, SliceReceiver, SliceRx, SliceSender, SliceTx, StatsRegistry, TokenBucket,
-    Transport, TransportError,
+    Shaper, SliceMsg, SliceReceiver, SliceSender, SliceTx, StatsRegistry, TokenBucket, Transport,
+    TransportError,
 };
-
-const OP_HELLO: u8 = 1;
-const OP_DATA: u8 = 2;
-const OP_EOS: u8 = 3;
-
-/// Header: opcode + link id + slice index + stripe id + repair id + length.
-const HEADER_LEN: usize = 1 + 8 + 8 + 8 + 8 + 4;
-
-/// How long blocked senders/receivers sleep between re-checks; a backstop so
-/// a lost wakeup degrades to latency rather than a deadlock.
-const WAIT_TICK: Duration = Duration::from_millis(50);
-
-fn encode_header(
-    opcode: u8,
-    link: u64,
-    index: u64,
-    stripe: u64,
-    repair: u64,
-    len: u32,
-) -> [u8; HEADER_LEN] {
-    let mut h = [0u8; HEADER_LEN];
-    h[0] = opcode;
-    h[1..9].copy_from_slice(&link.to_le_bytes());
-    h[9..17].copy_from_slice(&index.to_le_bytes());
-    h[17..25].copy_from_slice(&stripe.to_le_bytes());
-    h[25..33].copy_from_slice(&repair.to_le_bytes());
-    h[33..37].copy_from_slice(&len.to_le_bytes());
-    h
-}
-
-struct Frame {
-    opcode: u8,
-    link: u64,
-    index: u64,
-    stripe: u64,
-    repair: u64,
-    payload: Vec<u8>,
-}
-
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Frame> {
-    let mut h = [0u8; HEADER_LEN];
-    stream.read_exact(&mut h)?;
-    let len = u32::from_le_bytes(h[33..37].try_into().unwrap()) as usize;
-    let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
-    Ok(Frame {
-        opcode: h[0],
-        link: u64::from_le_bytes(h[1..9].try_into().unwrap()),
-        index: u64::from_le_bytes(h[9..17].try_into().unwrap()),
-        stripe: u64::from_le_bytes(h[17..25].try_into().unwrap()),
-        repair: u64::from_le_bytes(h[25..33].try_into().unwrap()),
-        payload,
-    })
-}
-
-/// Shared state of one logical link (queue on the receive side, credits on
-/// the send side).
-struct LinkState {
-    /// Lock class: `tcp.link_state` ([`lock_order::TCP_LINK_STATE`]).
-    inner: Mutex<LinkInner>,
-    readable: Condvar,
-    writable: Condvar,
-}
-
-struct LinkInner {
-    queue: VecDeque<SliceMsg>,
-    credits: usize,
-    sender_closed: bool,
-    receiver_closed: bool,
-    /// Local halves dropped (distinct from the wire-level closed flags
-    /// above): once both are gone the registry entry can be reclaimed.
-    tx_dropped: bool,
-    rx_dropped: bool,
-}
-
-impl LinkState {
-    fn new(capacity: usize) -> Self {
-        LinkState {
-            inner: Mutex::new(
-                &lock_order::TCP_LINK_STATE,
-                LinkInner {
-                    queue: VecDeque::new(),
-                    credits: capacity.max(1),
-                    sender_closed: false,
-                    receiver_closed: false,
-                    tx_dropped: false,
-                    rx_dropped: false,
-                },
-            ),
-            readable: Condvar::new(),
-            writable: Condvar::new(),
-        }
-    }
-
-    fn close_sender(&self) {
-        self.inner.lock().sender_closed = true;
-        self.readable.notify_all();
-    }
-
-    fn close_receiver(&self) {
-        self.inner.lock().receiver_closed = true;
-        self.writable.notify_all();
-    }
-}
 
 /// One reusable TCP connection for a directed node pair. All links between
 /// the pair share the writer; frames carry the link id for demultiplexing.
@@ -192,13 +75,7 @@ struct ListenerHandle {
 }
 
 struct Shared {
-    /// Lock class: `tcp.links` ([`lock_order::TCP_LINKS`]).
-    links: Mutex<HashMap<u64, Arc<LinkState>>>,
-    /// Links riding each directed connection, so a connection teardown can
-    /// close the right receive queues.
-    ///
-    /// Lock class: `tcp.conn_links` ([`lock_order::TCP_CONN_LINKS`]).
-    conn_links: Mutex<HashMap<(NodeId, NodeId), Vec<u64>>>,
+    table: Arc<LinkTable>,
     shutdown: OnceFlag,
     /// Lock class: `tcp.reader_threads` ([`lock_order::TCP_READER_THREADS`]).
     reader_threads: Mutex<Vec<JoinHandle<()>>>,
@@ -207,50 +84,9 @@ struct Shared {
 impl Default for Shared {
     fn default() -> Self {
         Shared {
-            links: Mutex::new(&lock_order::TCP_LINKS, HashMap::new()),
-            conn_links: Mutex::new(&lock_order::TCP_CONN_LINKS, HashMap::new()),
+            table: Arc::new(LinkTable::default()),
             shutdown: OnceFlag::new(),
             reader_threads: Mutex::new(&lock_order::TCP_READER_THREADS, Vec::new()),
-        }
-    }
-}
-
-impl Shared {
-    /// Records that one local half of a link was dropped; once both halves
-    /// are gone the registry entries are reclaimed, so a long-lived
-    /// transport does not accumulate state for finished repairs.
-    fn release_link_half(&self, pair: (NodeId, NodeId), link_id: u64, link: &LinkState, tx: bool) {
-        let both_dropped = {
-            let mut inner = link.inner.lock();
-            if tx {
-                inner.tx_dropped = true;
-            } else {
-                inner.rx_dropped = true;
-            }
-            inner.tx_dropped && inner.rx_dropped
-        };
-        if both_dropped {
-            self.links.lock().remove(&link_id);
-            if let Some(ids) = self.conn_links.lock().get_mut(&pair) {
-                ids.retain(|&id| id != link_id);
-            }
-        }
-    }
-
-    /// Marks every link fed by the `(src, dst)` connection as
-    /// sender-closed: the connection is gone, no more slices can arrive.
-    fn close_conn_links(&self, src: NodeId, dst: NodeId) {
-        let ids = self
-            .conn_links
-            .lock()
-            .get(&(src, dst))
-            .cloned()
-            .unwrap_or_default();
-        let links = self.links.lock();
-        for id in ids {
-            if let Some(link) = links.get(&id) {
-                link.close_sender();
-            }
         }
     }
 }
@@ -286,7 +122,7 @@ impl SliceTx for TcpTx {
             inner.credits -= 1;
         }
         if let Some(bucket) = &self.bucket {
-            bucket.take(HEADER_LEN + msg.data.len());
+            bucket.take(super::wire::HEADER_LEN + msg.data.len());
         }
         conn.write_frame(
             OP_DATA,
@@ -308,43 +144,15 @@ impl Drop for TcpTx {
             let _ = conn.write_frame(OP_EOS, self.link_id, 0, 0, 0, &[]);
         }
         self.shared
+            .table
             .release_link_half(self.pair, self.link_id, &self.link, true);
-    }
-}
-
-struct TcpRx {
-    pair: (NodeId, NodeId),
-    link_id: u64,
-    link: Arc<LinkState>,
-    shared: Arc<Shared>,
-}
-
-impl SliceRx for TcpRx {
-    fn recv(&self) -> Option<SliceMsg> {
-        let inner = self.link.inner.lock();
-        let mut inner = self
-            .link
-            .readable
-            .wait_while_tick(inner, WAIT_TICK, |s| s.queue.is_empty() && !s.sender_closed);
-        let msg = inner.queue.pop_front()?;
-        inner.credits += 1;
-        self.link.writable.notify_one();
-        Some(msg)
-    }
-}
-
-impl Drop for TcpRx {
-    fn drop(&mut self) {
-        self.link.close_receiver();
-        self.shared
-            .release_link_half(self.pair, self.link_id, &self.link, false);
     }
 }
 
 /// The localhost TCP backend: framed slices over reused per-node-pair
 /// connections, credit-based backpressure at link capacity, and an optional
-/// per-link token-bucket throttle (see the `tcp` module source for the wire
-/// format).
+/// per-link token-bucket throttle (see the `wire` module source for the
+/// wire format).
 pub struct TcpTransport {
     stats: StatsRegistry,
     shared: Arc<Shared>,
@@ -455,7 +263,6 @@ impl Transport for TcpTransport {
         let stats = self.stats.register(src, dst);
         let link_id = self.next_link_id.fetch_add(1, Ordering::Relaxed);
         let link = Arc::new(LinkState::new(capacity));
-        self.shared.links.lock().insert(link_id, link.clone());
         let conn = self
             .conn(src, dst)
             .map_err(|e| format!("tcp transport setup for link {src}->{dst} failed: {e}"));
@@ -465,11 +272,8 @@ impl Transport for TcpTransport {
             link.close_sender();
         }
         self.shared
-            .conn_links
-            .lock()
-            .entry((src, dst))
-            .or_default()
-            .push(link_id);
+            .table
+            .register((src, dst), link_id, link.clone());
         let bucket = self.shaper.bucket(src, dst);
         (
             SliceSender {
@@ -484,11 +288,11 @@ impl Transport for TcpTransport {
                 stats,
             },
             SliceReceiver {
-                inner: Box::new(TcpRx {
+                inner: Box::new(FramedRx {
                     pair: (src, dst),
                     link_id,
                     link,
-                    shared: self.shared.clone(),
+                    table: self.shared.table.clone(),
                 }),
             },
         )
@@ -503,13 +307,7 @@ impl Drop for TcpTransport {
     fn drop(&mut self) {
         self.shared.shutdown.set();
         // Unblock any straggling senders/receivers.
-        {
-            let links = self.shared.links.lock();
-            for link in links.values() {
-                link.close_sender();
-                link.close_receiver();
-            }
-        }
+        self.shared.table.close_all();
         // Tear down connections; reader threads wake with EOF/error.
         for conn in self.conns.lock().values() {
             let _ = conn.stream.shutdown(Shutdown::Both);
@@ -552,32 +350,12 @@ fn reader_loop(mut stream: TcpStream, shared: Arc<Shared>) {
             OP_HELLO => {
                 pair = Some((frame.link as NodeId, frame.index as NodeId));
             }
-            OP_DATA => {
-                let link = shared.links.lock().get(&frame.link).cloned();
-                if let Some(link) = link {
-                    let mut inner = link.inner.lock();
-                    if !inner.receiver_closed {
-                        inner.queue.push_back(SliceMsg {
-                            index: frame.index as usize,
-                            stripe: frame.stripe,
-                            repair: frame.repair,
-                            data: frame.payload.into(),
-                        });
-                        link.readable.notify_one();
-                    }
-                }
-            }
-            OP_EOS => {
-                let link = shared.links.lock().get(&frame.link).cloned();
-                if let Some(link) = link {
-                    link.close_sender();
-                }
-            }
+            OP_DATA | OP_EOS => shared.table.dispatch(frame),
             _ => break,
         }
     }
     if let Some((src, dst)) = pair {
-        shared.close_conn_links(src, dst);
+        shared.table.close_conn_links(src, dst);
     }
 }
 
@@ -639,9 +417,10 @@ mod tests {
             drop((tx, rx));
         }
         // Both halves gone → no per-link state left behind.
-        assert!(transport.shared.links.lock().is_empty());
+        assert!(transport.shared.table.links.lock().is_empty());
         assert!(transport
             .shared
+            .table
             .conn_links
             .lock()
             .values()

@@ -1,0 +1,171 @@
+//! The framed wire format shared by the socket-backed transports.
+//!
+//! [`TcpTransport`](super::TcpTransport) (blocking, thread-per-connection)
+//! and [`ReactorTransport`](super::ReactorTransport) (nonblocking,
+//! event-driven) speak the identical byte stream — the conformance suites
+//! assert both backends are interchangeable — so the encoding lives here
+//! once. Every frame is length-prefixed and little-endian:
+//!
+//! ```text
+//! +--------+----------+-----------+------------+------------+----------+---------+
+//! | opcode | link id  | slice idx | stripe id  | repair id  | len: u32 | payload |
+//! | u8     | u64      | u64       | u64        | u64        |          | [u8]    |
+//! +--------+----------+-----------+------------+------------+----------+---------+
+//! ```
+//!
+//! Opcodes: `HELLO` (first frame on a connection, announcing the `(src,
+//! dst)` node pair in the link/index fields), `DATA` (one
+//! [`SliceMsg`](super::SliceMsg): slice index, stripe and repair-job ids,
+//! payload), `EOS` (the sending half of a link was dropped).
+
+use std::io::Read;
+use std::net::TcpStream;
+
+/// First frame on a connection: announces the `(src, dst)` node pair.
+pub(super) const OP_HELLO: u8 = 1;
+/// One slice message.
+pub(super) const OP_DATA: u8 = 2;
+/// The sending half of a link was dropped.
+pub(super) const OP_EOS: u8 = 3;
+
+/// Header: opcode + link id + slice index + stripe id + repair id + length.
+pub(super) const HEADER_LEN: usize = 1 + 8 + 8 + 8 + 8 + 4;
+
+pub(super) fn encode_header(
+    opcode: u8,
+    link: u64,
+    index: u64,
+    stripe: u64,
+    repair: u64,
+    len: u32,
+) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0] = opcode;
+    h[1..9].copy_from_slice(&link.to_le_bytes());
+    h[9..17].copy_from_slice(&index.to_le_bytes());
+    h[17..25].copy_from_slice(&stripe.to_le_bytes());
+    h[25..33].copy_from_slice(&repair.to_le_bytes());
+    h[33..37].copy_from_slice(&len.to_le_bytes());
+    h
+}
+
+/// One decoded frame.
+pub(super) struct Frame {
+    pub(super) opcode: u8,
+    pub(super) link: u64,
+    pub(super) index: u64,
+    pub(super) stripe: u64,
+    pub(super) repair: u64,
+    pub(super) payload: Vec<u8>,
+}
+
+fn decode(header: &[u8; HEADER_LEN], payload: Vec<u8>) -> Frame {
+    Frame {
+        opcode: header[0],
+        link: u64::from_le_bytes(header[1..9].try_into().unwrap()),
+        index: u64::from_le_bytes(header[9..17].try_into().unwrap()),
+        stripe: u64::from_le_bytes(header[17..25].try_into().unwrap()),
+        repair: u64::from_le_bytes(header[25..33].try_into().unwrap()),
+        payload,
+    }
+}
+
+/// Blocking read of one complete frame (the `TcpTransport` reader-thread
+/// path).
+pub(super) fn read_frame(stream: &mut TcpStream) -> std::io::Result<Frame> {
+    let mut h = [0u8; HEADER_LEN];
+    stream.read_exact(&mut h)?;
+    let len = u32::from_le_bytes(h[33..37].try_into().unwrap()) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(decode(&h, payload))
+}
+
+/// Incremental frame parser for nonblocking reads (the `ReactorTransport`
+/// path): bytes go in whenever the socket is readable, complete frames come
+/// out. Partial frames stay buffered across calls.
+#[derive(Default)]
+pub(super) struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so steady-state parsing
+    /// does not memmove on every frame.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// Appends freshly-read bytes to the parse buffer.
+    pub(super) fn extend(&mut self, bytes: &[u8]) {
+        // Compact once the dead prefix dominates, bounding memory at ~2x
+        // the largest in-flight frame.
+        if self.start > 0 && self.start >= self.buf.len().saturating_sub(self.start) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, or `None` until more bytes arrive.
+    pub(super) fn next_frame(&mut self) -> Option<Frame> {
+        let pending = &self.buf[self.start..];
+        if pending.len() < HEADER_LEN {
+            return None;
+        }
+        let header: [u8; HEADER_LEN] = pending[..HEADER_LEN].try_into().unwrap();
+        let len = u32::from_le_bytes(header[33..37].try_into().unwrap()) as usize;
+        if pending.len() < HEADER_LEN + len {
+            return None;
+        }
+        let payload = pending[HEADER_LEN..HEADER_LEN + len].to_vec();
+        self.start += HEADER_LEN + len;
+        Some(decode(&header, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_bytes(opcode: u8, link: u64, payload: &[u8]) -> Vec<u8> {
+        let mut out = encode_header(opcode, link, 1, 2, 3, payload.len() as u32).to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn decoder_handles_split_and_coalesced_frames() {
+        let mut wire = frame_bytes(OP_DATA, 7, b"abc");
+        wire.extend(frame_bytes(OP_EOS, 8, b""));
+        let mut decoder = FrameDecoder::default();
+        // Feed byte-by-byte: no frame until the last byte of the first one.
+        let mut seen = Vec::new();
+        for chunk in wire.chunks(1) {
+            decoder.extend(chunk);
+            while let Some(f) = decoder.next_frame() {
+                seen.push((f.opcode, f.link, f.payload));
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![(OP_DATA, 7, b"abc".to_vec()), (OP_EOS, 8, Vec::new())]
+        );
+        // Feed everything at once: both frames pop out back-to-back.
+        let mut decoder = FrameDecoder::default();
+        decoder.extend(&wire);
+        assert_eq!(decoder.next_frame().unwrap().opcode, OP_DATA);
+        assert_eq!(decoder.next_frame().unwrap().opcode, OP_EOS);
+        assert!(decoder.next_frame().is_none());
+    }
+
+    #[test]
+    fn decoder_roundtrips_metadata() {
+        let mut out = encode_header(OP_DATA, 11, 22, 33, 44, 2).to_vec();
+        out.extend_from_slice(b"xy");
+        let mut decoder = FrameDecoder::default();
+        decoder.extend(&out);
+        let f = decoder.next_frame().unwrap();
+        assert_eq!(
+            (f.opcode, f.link, f.index, f.stripe, f.repair, f.payload),
+            (OP_DATA, 11, 22, 33, 44, b"xy".to_vec())
+        );
+    }
+}

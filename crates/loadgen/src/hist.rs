@@ -1,0 +1,205 @@
+//! HDR-style latency histogram: logarithmic buckets of 64 linear
+//! subbuckets each, so relative error stays under ~1.6% across the whole
+//! nanosecond range without storing every sample. Recording is O(1) and
+//! allocation-free; quantile queries walk the (fixed, small) bucket array.
+
+/// Subbuckets per power-of-two bucket. 64 keeps relative quantile error
+/// below 1/64 while the whole table stays a few KiB.
+const SUBBUCKETS: u64 = 64;
+const SUBBUCKET_BITS: u32 = 6;
+
+/// Bucket count covering the full `u64` range: one exact bucket for values
+/// below [`SUBBUCKETS`], then one 64-slot bucket per remaining bit.
+const SLOTS: usize = (SUBBUCKETS as usize) * (64 - SUBBUCKET_BITS as usize + 1);
+
+/// Fixed-size log-linear histogram of nanosecond latencies.
+#[derive(Clone)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; SLOTS]>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn slot_of(value: u64) -> usize {
+    if value < SUBBUCKETS {
+        return value as usize;
+    }
+    // `value` has its top bit at position `msb >= 6`; the bucket for that
+    // bit keeps the 6 bits below it, giving 64 linear subbuckets spanning
+    // [2^msb, 2^(msb+1)).
+    let msb = 63 - value.leading_zeros();
+    let bucket = (msb - SUBBUCKET_BITS + 1) as usize;
+    let sub = ((value >> (msb - SUBBUCKET_BITS)) - SUBBUCKETS) as usize;
+    bucket * SUBBUCKETS as usize + sub
+}
+
+/// Midpoint of the slot's value range — the value reported for quantiles
+/// that land in the slot.
+fn value_of(slot: usize) -> u64 {
+    let bucket = slot as u64 >> SUBBUCKET_BITS;
+    let sub = slot as u64 & (SUBBUCKETS - 1);
+    if bucket == 0 {
+        return sub;
+    }
+    let width = 1u64 << (bucket - 1);
+    (SUBBUCKETS + sub) * width + width / 2
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: Box::new([0; SLOTS]),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one latency in nanoseconds.
+    pub fn record(&mut self, ns: u64) {
+        self.counts[slot_of(ns)] += 1;
+        self.total += 1;
+        self.sum += ns as u128;
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of the recorded samples (not bucket-quantized).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Exact maximum recorded sample.
+    pub fn max(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact minimum recorded sample.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The latency at quantile `q` in `[0, 1]`, to within the slot width
+    /// (~1.6% relative). Clamped to the exact observed min/max so p0/p100
+    /// never report outside the recorded range.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (slot, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return value_of(slot).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..SUBBUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), SUBBUCKETS - 1);
+        assert_eq!(h.count(), SUBBUCKETS);
+    }
+
+    #[test]
+    fn slots_are_monotone_and_in_range() {
+        let mut last = None;
+        for bits in 0..64u32 {
+            for v in [1u64 << bits, (1u64 << bits) | ((1u64 << bits) >> 1)] {
+                let slot = slot_of(v);
+                assert!(slot < SLOTS, "slot {slot} for {v}");
+                if let Some(prev) = last {
+                    assert!(slot >= prev, "slot went backwards at {v}");
+                }
+                last = Some(slot);
+            }
+        }
+        assert_eq!(slot_of(u64::MAX), SLOTS - 1);
+    }
+
+    #[test]
+    fn quantiles_stay_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        // 10k samples spread over three decades.
+        for i in 0..10_000u64 {
+            h.record(1_000 + i * 997);
+        }
+        for (q, exact) in [(0.5, 1_000 + 4_999 * 997), (0.99, 1_000 + 9_899 * 997)] {
+            let approx = h.quantile(q) as f64;
+            let err = (approx - exact as f64).abs() / exact as f64;
+            assert!(err < 0.02, "q={q}: {approx} vs {exact} (err {err})");
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_histogram() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        let mut whole = LatencyHistogram::new();
+        for i in 0..1_000u64 {
+            let v = i * i + 17;
+            whole.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Zipfian object popularity with a precomputed CDF.
+//!
+//! Object `i` (0-based) is drawn with probability proportional to
+//! `1 / (i + 1)^theta`. `theta = 0` degenerates to uniform; `theta ≈ 1`
+//! matches the skew most object-store traces report. Sampling is a binary
+//! search over the cumulative table — no per-draw powf.
+
+use rand::{Rng, RngCore};
+
+/// Precomputed zipfian sampler over `0..n`.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the CDF for `n` objects with skew `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// If `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "zipf over an empty population");
+        assert!(
+            theta >= 0.0 && theta.is_finite(),
+            "zipf skew must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws one object index in `0..n`.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose cumulative probability covers `u`.
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{SeedableRng, StdRng};
+
+    #[test]
+    fn uniform_when_theta_is_zero() {
+        let zipf = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_head_dominates() {
+        let zipf = ZipfSampler::new(1_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut head = 0usize;
+        const DRAWS: usize = 100_000;
+        for _ in 0..DRAWS {
+            if zipf.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // With theta=0.99 over 1k objects the top 10 carry ~39% of mass.
+        assert!(head > DRAWS / 3, "head draws: {head}");
+    }
+
+    #[test]
+    fn samples_cover_the_range_and_stay_in_bounds() {
+        let zipf = ZipfSampler::new(3, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 3];
+        for _ in 0..10_000 {
+            seen[zipf.sample(&mut rng)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,5 +1,5 @@
 //! Conformance suite for the `EcPipe` façade's client data path, run
-//! against both transport backends: put→get roundtrips (multi-stripe
+//! against all three transport backends: put→get roundtrips (multi-stripe
 //! objects, unaligned sizes), degraded reads during node death, and range
 //! reads over corrupt chunks.
 
@@ -39,7 +39,11 @@ fn build(choice: TransportChoice, checksummed: bool, nodes: usize) -> EcPipe {
         .expect("façade builds")
 }
 
-const BACKENDS: [TransportChoice; 2] = [TransportChoice::Channel, TransportChoice::Tcp];
+const BACKENDS: [TransportChoice; 3] = [
+    TransportChoice::Channel,
+    TransportChoice::Tcp,
+    TransportChoice::Reactor,
+];
 
 /// Objects of every awkward size round-trip byte-exact, including
 /// multi-stripe objects and sizes not aligned to blocks or stripes.

@@ -15,7 +15,9 @@ use std::time::{Duration, Instant};
 use repair_pipelining::ecc::slice::SliceLayout;
 use repair_pipelining::ecc::{ErasureCode, ReedSolomon};
 use repair_pipelining::ecpipe::exec::{execute_single, ExecStrategy};
-use repair_pipelining::ecpipe::transport::{ChannelTransport, TcpTransport, Transport};
+use repair_pipelining::ecpipe::transport::{
+    ChannelTransport, ReactorTransport, TcpTransport, Transport,
+};
 use repair_pipelining::ecpipe::{
     Cluster, Coordinator, EcPipeBuilder, LinkWatchConfig, PathPolicy, ReplanReason,
     SelectionPolicy, StoreBackend, Topology, TransportChoice,
@@ -119,6 +121,11 @@ fn weighted_beats_lru_on_heterogeneous_channel_links() {
 #[test]
 fn weighted_beats_lru_on_heterogeneous_tcp_links() {
     case_weighted_beats_lru(TransportChoice::Tcp);
+}
+
+#[test]
+fn weighted_beats_lru_on_heterogeneous_reactor_links() {
+    case_weighted_beats_lru(TransportChoice::Reactor);
 }
 
 // ---------------------------------------------------------------------------
@@ -245,6 +252,11 @@ fn counters_match_slice_math_on_channel() {
 #[test]
 fn counters_match_slice_math_on_tcp() {
     case_counters_match_slice_math(&TcpTransport::new());
+}
+
+#[test]
+fn counters_match_slice_math_on_reactor() {
+    case_counters_match_slice_math(&ReactorTransport::new());
 }
 
 // ---------------------------------------------------------------------------

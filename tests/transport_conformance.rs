@@ -2,8 +2,10 @@
 //! semantics to the repair executors.
 //!
 //! Each case is written once, generically over the [`Transport`] trait, and
-//! instantiated for both [`ChannelTransport`] (in-process channels) and
-//! [`TcpTransport`] (real localhost sockets): slice ordering, backpressure
+//! instantiated for [`ChannelTransport`] (in-process channels),
+//! [`TcpTransport`] (real localhost sockets, a thread per connection) and
+//! [`ReactorTransport`] (the same sockets multiplexed over a fixed epoll
+//! thread pool): slice ordering, backpressure
 //! at [`PIPELINE_DEPTH`], dropped-peer error propagation, the paper's
 //! one-block-per-link traffic claim, and byte-exact repairs under all four
 //! execution strategies. A TCP-only case measures the §3.2 timing claim
@@ -20,7 +22,9 @@ use repair_pipelining::ecc::{ErasureCode, ReedSolomon};
 use repair_pipelining::ecpipe::exec::{
     execute_multi, execute_single, ExecStrategy, PIPELINE_DEPTH,
 };
-use repair_pipelining::ecpipe::transport::{ChannelTransport, SliceMsg, TcpTransport, Transport};
+use repair_pipelining::ecpipe::transport::{
+    ChannelTransport, ReactorTransport, SliceMsg, TcpTransport, Transport,
+};
 use repair_pipelining::ecpipe::{Cluster, Coordinator, SelectionPolicy, StoreBackend};
 
 const BLOCK: usize = 16 * 1024;
@@ -221,6 +225,7 @@ macro_rules! conformance_suite {
 
 conformance_suite!(channel, ChannelTransport::new());
 conformance_suite!(tcp, TcpTransport::new());
+conformance_suite!(reactor, ReactorTransport::new());
 
 /// §3.2 on real sockets: with every link throttled to the same rate, a
 /// repair-pipelined block takes about `1 + (k-1)/s` timeslots (one timeslot

@@ -1,0 +1,201 @@
+//! Transport shutdown and backpressure edge cases, parameterized over all
+//! three backends ([`ChannelTransport`], [`TcpTransport`],
+//! [`ReactorTransport`]).
+//!
+//! The conformance suite pins the happy paths; this file pins the ugly
+//! ones: tearing a transport down while frames are still queued, credit
+//! replenishment under a deliberately slow receiver, and opening fresh
+//! links on a pair whose previous links (or, for the reactor, whose
+//! underlying connection) went away.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use repair_pipelining::ecpipe::transport::{
+    ChannelTransport, ReactorTransport, SliceMsg, TcpTransport, Transport,
+};
+
+/// Runs `f` on a helper thread and fails the test if it has not finished
+/// within `dur` — the shape every "must not hang" assertion here takes.
+fn finishes_within<F>(what: &str, dur: Duration, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let (done_tx, done_rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        f();
+        let _ = done_tx.send(());
+    });
+    if done_rx.recv_timeout(dur).is_err() {
+        panic!("{what} did not finish within {dur:?}");
+    }
+}
+
+/// Dropping the transport with frames still queued on a link must leave the
+/// receiver with a terminating stream — whatever was already delivered may
+/// drain, but `recv` must reach end-of-stream instead of hanging.
+fn case_shutdown_with_inflight_frames<T: Transport + Send + 'static>(transport: T) {
+    let (tx, rx) = transport.link(0, 1, 64);
+    for j in 0..32 {
+        tx.send(SliceMsg::new(j, vec![j as u8; 512].into()))
+            .expect("queueing ahead of any shutdown");
+    }
+    drop(tx);
+    drop(transport);
+    finishes_within(
+        "draining a shut-down transport's link",
+        Duration::from_secs(10),
+        move || {
+            let mut drained = 0usize;
+            while rx.recv().is_some() {
+                drained += 1;
+            }
+            assert!(drained <= 32, "conjured {drained} frames out of 32 sent");
+        },
+    );
+}
+
+/// With the receiver consuming one frame at a time, the sender must stay
+/// inside the credit window the whole way: after `j` frames have been
+/// consumed, at most `credits + j` may ever have left the sender.
+fn case_credit_exhaustion_under_slow_receiver<T: Transport>(transport: &T) {
+    const CREDITS: usize = 4;
+    const TOTAL: usize = 24;
+    let (tx, rx) = transport.link(2, 3, CREDITS);
+    let sent = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for j in 0..TOTAL {
+                tx.send(SliceMsg::new(j, vec![0u8; 256].into()))
+                    .expect("receiver lives for the whole run");
+                sent.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        let wait_for_sent = |at_least: usize| {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while sent.load(Ordering::SeqCst) < at_least && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        };
+        wait_for_sent(CREDITS);
+        for consumed in 0..TOTAL {
+            // Let the sender catch up to the newly granted credit, then
+            // check it never overshot the window.
+            wait_for_sent((CREDITS + consumed).min(TOTAL));
+            std::thread::sleep(Duration::from_millis(5));
+            let sent_now = sent.load(Ordering::SeqCst);
+            assert!(
+                sent_now <= CREDITS + consumed,
+                "sender overran the credit window: {sent_now} sent after {consumed} consumed"
+            );
+            let msg = rx.recv().expect("stream ended early");
+            assert_eq!(msg.index, consumed, "slow consumption must not reorder");
+        }
+    });
+    drop(tx);
+    assert!(rx.recv().is_none());
+}
+
+/// Link teardown on a pair must not poison the pair: fresh links opened
+/// afterwards (over the same cached connection, for the socket backends)
+/// carry traffic normally.
+fn case_fresh_links_after_teardown<T: Transport>(transport: &T) {
+    for round in 0..3u8 {
+        let (tx, rx) = transport.link(4, 5, 8);
+        tx.send(SliceMsg::new(round as usize, vec![round; 128].into()))
+            .expect("fresh link must carry traffic");
+        let msg = rx.recv().expect("fresh link must deliver");
+        assert_eq!(msg.data, vec![round; 128]);
+        // Tear down out of order across rounds: receiver first on even
+        // rounds, sender first on odd.
+        if round % 2 == 0 {
+            drop(rx);
+            assert!(tx.send(SliceMsg::new(9, vec![9u8; 8].into())).is_err());
+        } else {
+            drop(tx);
+            assert!(rx.recv().is_none());
+        }
+    }
+}
+
+macro_rules! edge_suite {
+    ($backend:ident, $make:expr) => {
+        mod $backend {
+            use super::*;
+
+            #[test]
+            fn shutdown_with_inflight_frames() {
+                case_shutdown_with_inflight_frames($make);
+            }
+
+            #[test]
+            fn credit_exhaustion_under_slow_receiver() {
+                case_credit_exhaustion_under_slow_receiver(&$make);
+            }
+
+            #[test]
+            fn fresh_links_after_teardown() {
+                case_fresh_links_after_teardown(&$make);
+            }
+        }
+    };
+}
+
+edge_suite!(channel, ChannelTransport::new());
+edge_suite!(tcp, TcpTransport::new());
+edge_suite!(reactor, ReactorTransport::new());
+
+/// After the transport is dropped, surviving senders on the socket
+/// backends must fail fast instead of buffering into a void.
+#[test]
+fn send_after_shutdown_errors_on_socket_backends() {
+    fn check<T: Transport>(transport: T, label: &str) {
+        let (tx, _rx) = transport.link(0, 1, 4);
+        drop(transport);
+        assert!(
+            tx.send(SliceMsg::new(0, vec![1u8; 16].into())).is_err(),
+            "{label}: send into a shut-down transport must error"
+        );
+    }
+    check(TcpTransport::new(), "tcp");
+    check(ReactorTransport::new(), "reactor");
+}
+
+/// A peer "restart" on the reactor backend: the cached connection to the
+/// pair is severed, in-flight senders fail, and the next link transparently
+/// reconnects and carries byte-exact traffic again.
+#[test]
+fn reactor_connection_reuse_survives_peer_restart() {
+    let transport = ReactorTransport::new();
+    let (tx, rx) = transport.link(0, 1, 8);
+    tx.send(SliceMsg::new(0, vec![42u8; 1024].into()))
+        .expect("pre-restart traffic flows");
+    assert_eq!(rx.recv().expect("pre-restart delivery").data[0], 42);
+
+    assert!(
+        transport.disconnect_pair(0, 1),
+        "there was a live connection to sever"
+    );
+    // The severed connection must surface as send errors, possibly after
+    // the frames already buffered locally are flushed into the dead socket.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut failed = false;
+    while Instant::now() < deadline {
+        if tx.send(SliceMsg::new(1, vec![1u8; 1024].into())).is_err() {
+            failed = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(failed, "sends on a severed connection must start failing");
+    drop((tx, rx));
+
+    // A fresh link dials a fresh connection; the restart is invisible.
+    let (tx, rx) = transport.link(0, 1, 8);
+    tx.send(SliceMsg::new(7, vec![7u8; 2048].into()))
+        .expect("post-restart traffic flows");
+    let msg = rx.recv().expect("post-restart delivery");
+    assert_eq!((msg.index, msg.data.len()), (7, 2048));
+    assert_eq!(msg.data, vec![7u8; 2048]);
+}
